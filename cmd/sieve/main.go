@@ -1,0 +1,176 @@
+// Command sieve is the operator CLI: generate synthetic feeds, tune encoder
+// parameters offline, encode with tuned parameters, and inspect/seek SVF
+// streams.
+//
+// Usage:
+//
+//	sieve gen    -dataset jackson_square -seconds 30 -out feed.svf
+//	sieve tune   -dataset jackson_square -seconds 60 -table lookup.json
+//	sieve encode -dataset jackson_square -seconds 30 -gop 50 -scenecut 200 -out feed.svf
+//	sieve seek   -in feed.svf
+//	sieve info   -in feed.svf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sieve/internal/codec"
+	"sieve/internal/container"
+	"sieve/internal/synth"
+	"sieve/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sieve: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdEncode(os.Args[2:], true)
+	case "encode":
+		cmdEncode(os.Args[2:], false)
+	case "tune":
+		cmdTune(os.Args[2:])
+	case "seek":
+		cmdSeek(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sieve <gen|encode|tune|seek|info> [flags]")
+	os.Exit(2)
+}
+
+func cmdEncode(args []string, defaults bool) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	dataset := fs.String("dataset", "jackson_square", "synthetic dataset preset")
+	seconds := fs.Int("seconds", 30, "seconds of video")
+	fps := fs.Int("fps", 10, "frames per second")
+	gop := fs.Int("gop", 250, "GOP size (max frames between I-frames)")
+	scenecut := fs.Float64("scenecut", 40, "scenecut threshold 0-400")
+	out := fs.String("out", "out.svf", "output stream path")
+	_ = fs.Parse(args)
+
+	v, err := synth.Preset(synth.PresetName(*dataset), synth.PresetOpts{Seconds: *seconds, FPS: *fps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := v.Spec()
+	cfgGOP, cfgSC := *gop, *scenecut
+	if defaults {
+		cfgGOP, cfgSC = 250, 40
+	}
+	enc, err := codec.NewEncoder(codec.Params{
+		Width: spec.Width, Height: spec.Height, Quality: 85,
+		GOPSize: cfgGOP, Scenecut: cfgSC, MinGOP: tuner.DefaultMinGOP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := container.NewWriter(f, container.StreamInfo{
+		Width: spec.Width, Height: spec.Height, FPS: spec.FPS,
+		Quality: 85, GOPSize: cfgGOP, Scenecut: cfgSC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	iCount := 0
+	for i := 0; i < v.NumFrames(); i++ {
+		ef, err := enc.Encode(v.Frame(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ef.Type == codec.FrameI {
+			iCount++
+		}
+		if err := w.WriteEncoded(ef); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d frames (%d I-frames, %.2f%%), gop=%d scenecut=%g\n",
+		*out, v.NumFrames(), iCount, 100*float64(iCount)/float64(v.NumFrames()), cfgGOP, cfgSC)
+}
+
+func cmdTune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	dataset := fs.String("dataset", "jackson_square", "labelled dataset preset")
+	seconds := fs.Int("seconds", 120, "seconds of training video")
+	fps := fs.Int("fps", 10, "frames per second")
+	table := fs.String("table", "", "lookup table JSON to update (optional)")
+	_ = fs.Parse(args)
+
+	v, err := synth.Preset(synth.PresetName(*dataset), synth.PresetOpts{Seconds: *seconds, FPS: *fps, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := tuner.Tune(v, v.Track(), tuner.DefaultSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: best %s  acc=%.1f%% ss=%.2f%% f1=%.1f%%\n",
+		*dataset, best.Config, 100*best.Acc, 100*best.SS, 100*best.F1)
+	if *table == "" {
+		return
+	}
+	tab, err := tuner.LoadLookupTable(*table)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+		tab = tuner.NewLookupTable()
+	}
+	tab.Set(*dataset, best.Config)
+	if err := tab.Save(*table); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("updated %s\n", *table)
+}
+
+func cmdSeek(args []string) {
+	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	in := fs.String("in", "", "input .svf stream")
+	_ = fs.Parse(args)
+	r, closer, err := container.OpenFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer.Close()
+	ifr := r.IFrames()
+	fmt.Printf("%s: %d frames, %d I-frames (%.2f%%)\n",
+		*in, r.NumFrames(), len(ifr), 100*float64(len(ifr))/float64(r.NumFrames()))
+	for _, m := range ifr {
+		fmt.Printf("  I-frame %6d  offset %10d  size %7d\n", m.Index, m.Offset, m.Size)
+	}
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input .svf stream")
+	_ = fs.Parse(args)
+	r, closer, err := container.OpenFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer.Close()
+	info := r.Info()
+	fmt.Printf("%s: %dx%d @ %d fps, quality %d, gop %d, scenecut %g, %d frames (%.1fs), %d payload bytes\n",
+		*in, info.Width, info.Height, info.FPS, info.Quality, info.GOPSize, info.Scenecut,
+		info.FrameCount, info.Duration(), r.PayloadBytes(nil))
+}

@@ -1,0 +1,90 @@
+// Command sievebench regenerates every table and figure of the SiEVE
+// paper's evaluation and prints them in the paper's layout.
+//
+// Usage:
+//
+//	sievebench -exp all                # everything (several minutes)
+//	sievebench -exp table2 -seconds 120
+//	sievebench -exp fig3 -dataset jackson_square
+//	sievebench -exp fig4 -exp fig5    # e2e experiments share asset prep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sieve/internal/experiments"
+	"sieve/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sievebench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig3|fig4|fig5|all")
+		dataset = flag.String("dataset", "", "restrict fig3 to one labelled dataset")
+		seconds = flag.Int("seconds", 0, "seconds of evaluation video per feed (default 120)")
+		train   = flag.Int("train", 0, "seconds of tuning video (default = -seconds)")
+		fps     = flag.Int("fps", 0, "synthetic feed fps (default 10)")
+	)
+	flag.Parse()
+	opts := experiments.Opts{Seconds: *seconds, TrainSeconds: *train, FPS: *fps}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	if all || want["table1"] {
+		fmt.Println(experiments.RenderTable1(experiments.Table1(opts)))
+	}
+	if all || want["fig3"] {
+		names := synth.LabelledPresets()
+		if *dataset != "" {
+			names = []synth.PresetName{synth.PresetName(*dataset)}
+		}
+		for _, name := range names {
+			res, err := experiments.Figure3(name, opts)
+			if err != nil {
+				log.Fatalf("figure3 %s: %v", name, err)
+			}
+			fmt.Println(res.Render())
+			fmt.Printf("  mean gap: SiEVE-SIFT %+.1f%%, SiEVE-MSE %+.1f%%\n\n",
+				100*res.MeanGapOver("SiEVE", "SIFT"), 100*res.MeanGapOver("SiEVE", "MSE"))
+		}
+	}
+	if all || want["table2"] {
+		rows, err := experiments.Table2(opts)
+		if err != nil {
+			log.Fatalf("table2: %v", err)
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if all || want["table3"] {
+		rows, err := experiments.Table3(opts)
+		if err != nil {
+			log.Fatalf("table3: %v", err)
+		}
+		fmt.Println(experiments.RenderTable3(rows))
+	}
+	if all || want["fig4"] || want["fig5"] {
+		results, err := experiments.E2E([]int{1, 3, 5}, opts)
+		if err != nil {
+			log.Fatalf("e2e: %v", err)
+		}
+		if all || want["fig4"] {
+			fmt.Println(experiments.RenderFigure4(results))
+		}
+		if all || want["fig5"] {
+			fmt.Println(experiments.RenderFigure5(results))
+		}
+	}
+	if !all && len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

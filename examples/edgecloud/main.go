@@ -1,0 +1,49 @@
+// Edgecloud: the 3-tier deployment comparison of Section V-B on one feed —
+// prepare a semantically encoded asset, measure this machine's own
+// micro-costs, and model all five deployments over the paper's 30 Mbps WAN.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sieve/internal/pipeline"
+	"sieve/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("preparing asset (render → tune → encode twice → price baselines)...")
+	asset, err := pipeline.PrepareAsset(synth.JacksonSquare, pipeline.AssetOpts{
+		Seconds: 40, FPS: 10, TrainSeconds: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asset: %d frames, %d I-frames, semantic %d B, default %d B\n",
+		asset.NumFrames, len(asset.IFrames),
+		asset.Semantic.PayloadBytes(nil), asset.Default.PayloadBytes(nil))
+
+	costs, err := pipeline.MeasureCosts(asset, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: seek %v/frame, decode %v/frame, NN %v/frame\n\n",
+		costs.Seek, costs.DecodeP, costs.NN)
+
+	cluster := pipeline.DefaultCluster()
+	costMap := map[string]pipeline.MicroCosts{asset.Name: costs}
+	fmt.Printf("%-26s %10s %14s %12s %s\n", "method", "fps", "edge→cloud", "makespan", "bottleneck")
+	for _, m := range pipeline.AllMethods() {
+		rep, err := pipeline.Evaluate(m, []*pipeline.VideoAsset{asset}, costMap, cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %10.0f %11.2f MB %12v %s\n",
+			rep.Method, rep.Throughput, float64(rep.EdgeCloudBytes)/1e6,
+			rep.Makespan.Round(1e6), rep.Bottleneck)
+	}
+	fmt.Println("\nThe 3-tier I-frame deployment filters at the edge and infers in the")
+	fmt.Println("cloud — highest throughput with a fraction of the WAN traffic.")
+}

@@ -1,0 +1,139 @@
+package codec
+
+import "sieve/internal/frame"
+
+// CostAnalyzer computes the per-frame intra/inter costs that drive the
+// scenecut decision. Like x264's lookahead it works on half-resolution
+// copies of the *original* frames, so its output depends only on the video
+// content — not on quantisation or on where previous I-frames were placed.
+// That independence is what lets the offline tuner replay I-frame placement
+// for every parameter configuration from one analysis pass.
+type CostAnalyzer struct {
+	prev *frame.Plane
+}
+
+// NewCostAnalyzer returns an analyzer with no history; the first Analyze
+// call reports Inter == Intra (frame 0 has no reference).
+func NewCostAnalyzer() *CostAnalyzer { return &CostAnalyzer{} }
+
+// Reset drops the reference history.
+func (a *CostAnalyzer) Reset() { a.prev = nil }
+
+// analysisBlock is the block size used on the half-res plane (8 px there
+// corresponds to a 16-px macroblock at full resolution).
+const analysisBlock = 8
+
+// analysisRange is the half-res motion search radius.
+const analysisRange = 8
+
+// Analyze consumes the next original frame and returns its decision costs.
+func (a *CostAnalyzer) Analyze(f *frame.YUV) Cost {
+	half := Downsample2x(f.Y)
+	intra := intraCost(half)
+	inter := intra
+	if a.prev != nil {
+		inter = interCost(half, a.prev)
+	}
+	a.prev = half
+	return Cost{Intra: intra, Inter: inter}
+}
+
+// Downsample2x box-filters a plane to half resolution in each dimension.
+func Downsample2x(p *frame.Plane) *frame.Plane {
+	w, h := p.W/2, p.H/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	d := frame.NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		row := d.Row(y)
+		for x := 0; x < w; x++ {
+			s := int(p.At(2*x, 2*y)) + int(p.At(2*x+1, 2*y)) +
+				int(p.At(2*x, 2*y+1)) + int(p.At(2*x+1, 2*y+1))
+			row[x] = byte((s + 2) / 4)
+		}
+	}
+	return d
+}
+
+// intraCost approximates the intra coding cost of a plane as the summed
+// deviation of each 8×8 block from its own mean (DC prediction residual).
+func intraCost(p *frame.Plane) int64 {
+	var total int64
+	for by := 0; by < p.H; by += analysisBlock {
+		for bx := 0; bx < p.W; bx += analysisBlock {
+			total += int64(blockDCCost(p, bx, by))
+		}
+	}
+	// Floor keeps the inter/intra ratio meaningful on near-flat video
+	// (an all-grey frame has intra cost ~0, which would make every tiny
+	// noise wiggle register as a scenecut).
+	if min := int64(p.W * p.H / 4); total < min {
+		total = min
+	}
+	return total
+}
+
+func blockDCCost(p *frame.Plane, bx, by int) int {
+	w := analysisBlock
+	h := analysisBlock
+	if bx+w > p.W {
+		w = p.W - bx
+	}
+	if by+h > p.H {
+		h = p.H - by
+	}
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	sum := 0
+	for y := 0; y < h; y++ {
+		row := p.Row(by + y)
+		for x := 0; x < w; x++ {
+			sum += int(row[bx+x])
+		}
+	}
+	mean := (sum + w*h/2) / (w * h)
+	cost := 0
+	for y := 0; y < h; y++ {
+		row := p.Row(by + y)
+		for x := 0; x < w; x++ {
+			d := int(row[bx+x]) - mean
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	return cost
+}
+
+// interDeadzonePerPixel is subtracted from each block's motion-compensated
+// SAD (per pixel) before it counts toward the frame's inter cost. Sensor
+// noise and global flicker produce a small residual in *every* block; the
+// deadzone zeroes that floor so the inter cost measures only content the
+// previous frame genuinely cannot predict — which is what makes the
+// scenecut test separate "object entered" from "noisy quiet frame".
+const interDeadzonePerPixel = 1
+
+// interCost is the summed motion-compensated, deadzoned SAD of cur's 8×8
+// blocks against ref, using a diamond search per block.
+func interCost(cur, ref *frame.Plane) int64 {
+	deadzone := interDeadzonePerPixel * analysisBlock * analysisBlock
+	var total int64
+	pred := MV{}
+	for by := 0; by < cur.H; by += analysisBlock {
+		pred = MV{}
+		for bx := 0; bx < cur.W; bx += analysisBlock {
+			mv, sad := diamondSearch(cur, ref, bx, by, analysisBlock, analysisRange, pred)
+			pred = mv
+			if sad > deadzone {
+				total += int64(sad - deadzone)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,170 @@
+package codec
+
+import (
+	"fmt"
+
+	"sieve/internal/bitstream"
+	"sieve/internal/frame"
+	"sieve/internal/transform"
+)
+
+// eobMarker terminates a block's AC run-level list. Legal runs are 0–62
+// (positions 1..63 of the zig-zag scan), so 63 is unambiguous.
+const eobMarker = 63
+
+// blockCoder encodes and reconstructs 8×8 blocks against a prediction
+// plane, sharing one scratch set of transform blocks across calls.
+type blockCoder struct {
+	qz                 *transform.Quantizer
+	src, coef, lev, zz transform.Block
+	dq, rec            transform.Block
+	dcPred             int32
+}
+
+func newBlockCoder(quality int) *blockCoder {
+	return &blockCoder{qz: transform.NewQuantizer(quality)}
+}
+
+// resetDC restarts DC prediction (call at the start of each plane).
+func (bc *blockCoder) resetDC() { bc.dcPred = 0 }
+
+// encodeBlock transforms and entropy-codes the 8×8 block of plane p at
+// (bx, by) with the given per-pixel prediction, then writes the locally
+// reconstructed pixels (prediction + dequantised residual) back into recon.
+// pred supplies the prediction value for each offset; for intra blocks it is
+// the constant 128, for inter blocks the motion-compensated reference.
+func (bc *blockCoder) encodeBlock(w *bitstream.Writer, p, recon *frame.Plane, bx, by int, pred func(x, y int) int32) {
+	for y := 0; y < transform.BlockSize; y++ {
+		for x := 0; x < transform.BlockSize; x++ {
+			bc.src[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - pred(x, y)
+		}
+	}
+	transform.Forward(&bc.src, &bc.coef)
+	bc.qz.Quantize(&bc.coef, &bc.lev)
+
+	// Coded-block flag: all-zero blocks cost one bit.
+	allZero := true
+	for _, v := range bc.lev {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		w.WriteBit(0)
+		bc.reconstruct(recon, bx, by, pred, true)
+		return
+	}
+	w.WriteBit(1)
+	transform.ZigZag(&bc.lev, &bc.zz)
+	w.WriteSE(int64(bc.zz[0] - bc.dcPred))
+	bc.dcPred = bc.zz[0]
+	run := 0
+	for i := 1; i < len(bc.zz); i++ {
+		if bc.zz[i] == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(uint64(run))
+		w.WriteSE(int64(bc.zz[i]))
+		run = 0
+	}
+	w.WriteUE(eobMarker)
+	bc.reconstruct(recon, bx, by, pred, false)
+}
+
+// reconstruct applies prediction + dequantised residual into recon, exactly
+// mirroring what the decoder will compute, so encoder and decoder reference
+// frames stay bit-identical (no drift).
+func (bc *blockCoder) reconstruct(recon *frame.Plane, bx, by int, pred func(x, y int) int32, zero bool) {
+	if zero {
+		for y := 0; y < transform.BlockSize; y++ {
+			for x := 0; x < transform.BlockSize; x++ {
+				recon.Set(bx+x, by+y, frame.Clamp(int(pred(x, y))))
+			}
+		}
+		return
+	}
+	bc.qz.Dequantize(&bc.lev, &bc.dq)
+	transform.Inverse(&bc.dq, &bc.rec)
+	for y := 0; y < transform.BlockSize; y++ {
+		for x := 0; x < transform.BlockSize; x++ {
+			recon.Set(bx+x, by+y, frame.Clamp(int(pred(x, y)+bc.rec[y*transform.BlockSize+x])))
+		}
+	}
+}
+
+// blockDecoder mirrors blockCoder on the read side.
+type blockDecoder struct {
+	qz      *transform.Quantizer
+	zz, lev transform.Block
+	dq, rec transform.Block
+	dcPred  int32
+}
+
+func newBlockDecoder(quality int) *blockDecoder {
+	return &blockDecoder{qz: transform.NewQuantizer(quality)}
+}
+
+func (bd *blockDecoder) resetDC() { bd.dcPred = 0 }
+
+// decodeBlock reads one coded block and writes prediction + residual pixels
+// into dst at (bx, by).
+func (bd *blockDecoder) decodeBlock(r *bitstream.Reader, dst *frame.Plane, bx, by int, pred func(x, y int) int32) error {
+	coded, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("coded-block flag: %w", err)
+	}
+	if coded == 0 {
+		for y := 0; y < transform.BlockSize; y++ {
+			for x := 0; x < transform.BlockSize; x++ {
+				dst.Set(bx+x, by+y, frame.Clamp(int(pred(x, y))))
+			}
+		}
+		return nil
+	}
+	for i := range bd.zz {
+		bd.zz[i] = 0
+	}
+	dcDelta, err := r.ReadSE()
+	if err != nil {
+		return fmt.Errorf("dc delta: %w", err)
+	}
+	bd.dcPred += int32(dcDelta)
+	bd.zz[0] = bd.dcPred
+	pos := 1
+	for {
+		run, err := r.ReadUE()
+		if err != nil {
+			return fmt.Errorf("ac run: %w", err)
+		}
+		if run == eobMarker {
+			break
+		}
+		pos += int(run)
+		if pos >= len(bd.zz) {
+			return fmt.Errorf("%w: run-level overflow at position %d", ErrCorrupt, pos)
+		}
+		level, err := r.ReadSE()
+		if err != nil {
+			return fmt.Errorf("ac level: %w", err)
+		}
+		if level == 0 {
+			return fmt.Errorf("%w: zero AC level", ErrCorrupt)
+		}
+		bd.zz[pos] = int32(level)
+		pos++
+		if pos > len(bd.zz) {
+			return fmt.Errorf("%w: scan position overflow", ErrCorrupt)
+		}
+	}
+	transform.UnZigZag(&bd.zz, &bd.lev)
+	bd.qz.Dequantize(&bd.lev, &bd.dq)
+	transform.Inverse(&bd.dq, &bd.rec)
+	for y := 0; y < transform.BlockSize; y++ {
+		for x := 0; x < transform.BlockSize; x++ {
+			dst.Set(bx+x, by+y, frame.Clamp(int(pred(x, y)+bd.rec[y*transform.BlockSize+x])))
+		}
+	}
+	return nil
+}

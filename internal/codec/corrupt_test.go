@@ -1,0 +1,65 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeSurvivesBitCorruption injects random bit flips into encoded
+// payloads and asserts the decoder never panics: every corrupted payload
+// either still decodes (the flip landed in coefficient data — visual
+// garbage is acceptable) or returns an error. Robustness here matters
+// because the edge ingests camera streams over lossy links.
+func TestDecodeSurvivesBitCorruption(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 8, Scenecut: 0}
+	frames := testVideo(64, 48, 16, 4, 99)
+	encoded := encodeAll(t, p, frames)
+	rng := rand.New(rand.NewSource(123))
+
+	for trial := 0; trial < 300; trial++ {
+		src := encoded[rng.Intn(len(encoded))]
+		data := append([]byte(nil), src.Data...)
+		// Flip 1-4 random bits.
+		for k := 0; k <= rng.Intn(4); k++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked on corrupted frame %d: %v",
+						trial, src.Number, r)
+				}
+			}()
+			dec, err := NewDecoder(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Seed the reference so P-frames have something to predict from.
+			if src.Type == FrameP {
+				if _, err := dec.Decode(encoded[0].Data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			img, err := dec.Decode(data)
+			if err == nil && (img.W != p.Width || img.H != p.Height) {
+				t.Fatalf("trial %d: corrupted decode produced %dx%d", trial, img.W, img.H)
+			}
+		}()
+	}
+}
+
+// TestDecodeSurvivesTruncation checks every truncation point of an I-frame
+// payload errors cleanly.
+func TestDecodeSurvivesTruncation(t *testing.T) {
+	p := Params{Width: 32, Height: 32, Quality: 85, GOPSize: 8, Scenecut: 0}
+	frames := testVideo(32, 32, 1, 0, 7)
+	encoded := encodeAll(t, p, frames)
+	data := encoded[0].Data
+	step := len(data)/64 + 1
+	for cut := 0; cut < len(data); cut += step {
+		if _, err := DecodeIFrame(p, data[:cut]); err == nil && cut < len(data)*3/4 {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(data))
+		}
+	}
+}

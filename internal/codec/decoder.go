@@ -1,0 +1,179 @@
+package codec
+
+import (
+	"fmt"
+
+	"sieve/internal/bitstream"
+	"sieve/internal/frame"
+	"sieve/internal/transform"
+)
+
+// Decoder decompresses a stream produced by Encoder with the same Params.
+// Not safe for concurrent use.
+type Decoder struct {
+	p     Params
+	recon *frame.YUV
+	bd    *blockDecoder
+}
+
+// NewDecoder validates p and returns a ready decoder.
+func NewDecoder(p Params) (*Decoder, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	return &Decoder{p: p}, nil
+}
+
+// Decode decompresses the next frame in stream order. P-frames require that
+// the preceding frame was decoded by this Decoder.
+func (d *Decoder) Decode(data []byte) (*frame.YUV, error) {
+	ft, quality, r, err := readFrameHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if d.bd == nil || d.bd.qz.Quality() != quality {
+		d.bd = newBlockDecoder(quality)
+	}
+	switch ft {
+	case FrameI:
+		out := frame.NewYUV(d.p.Width, d.p.Height)
+		if err := decodeIntraInto(r, d.bd, out); err != nil {
+			return nil, err
+		}
+		d.recon = out
+		return out.Clone(), nil
+	case FrameP:
+		if d.recon == nil {
+			return nil, ErrNoRef
+		}
+		out, err := d.decodeInter(r)
+		if err != nil {
+			return nil, err
+		}
+		d.recon = out
+		return out.Clone(), nil
+	default:
+		return nil, fmt.Errorf("%w: frame type %d", ErrCorrupt, ft)
+	}
+}
+
+// Reset drops the reference frame (e.g. before seeking to an I-frame).
+func (d *Decoder) Reset() { d.recon = nil }
+
+// DecodeIFrame decodes a single I-frame payload independently of any stream
+// state — the "decompress like a still JPEG" path the SiEVE edge engine uses
+// after the I-frame seeker. Returns ErrNotIFrame for P-frame payloads.
+func DecodeIFrame(p Params, data []byte) (*frame.YUV, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	ft, quality, r, err := readFrameHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if ft != FrameI {
+		return nil, ErrNotIFrame
+	}
+	out := frame.NewYUV(p.Width, p.Height)
+	if err := decodeIntraInto(r, newBlockDecoder(quality), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PayloadFrameType peeks at a payload's frame-type bit without decoding.
+func PayloadFrameType(data []byte) (FrameType, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	return FrameType(data[0] >> 7), nil
+}
+
+func readFrameHeader(data []byte) (FrameType, int, *bitstream.Reader, error) {
+	if len(data) < 1 {
+		return 0, 0, nil, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	r := bitstream.NewReader(data)
+	ftBit, err := r.ReadBits(1)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	q, err := r.ReadBits(7)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if q < 1 || q > 100 {
+		return 0, 0, nil, fmt.Errorf("%w: quality %d", ErrCorrupt, q)
+	}
+	return FrameType(ftBit), int(q), r, nil
+}
+
+func decodeIntraInto(r *bitstream.Reader, bd *blockDecoder, out *frame.YUV) error {
+	for _, pl := range []*frame.Plane{out.Y, out.Cb, out.Cr} {
+		bd.resetDC()
+		for by := 0; by < pl.H; by += transform.BlockSize {
+			for bx := 0; bx < pl.W; bx += transform.BlockSize {
+				if err := bd.decodeBlock(r, pl, bx, by, constPred); err != nil {
+					return fmt.Errorf("intra block (%d,%d): %w", bx, by, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) decodeInter(r *bitstream.Reader) (*frame.YUV, error) {
+	prev := d.recon
+	out := frame.NewYUV(d.p.Width, d.p.Height)
+	dcY, dcCb, dcCr := int32(0), int32(0), int32(0)
+	pred := MV{}
+	for mby := 0; mby < d.p.Height; mby += mbSize {
+		pred = MV{}
+		for mbx := 0; mbx < d.p.Width; mbx += mbSize {
+			skip, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("mb (%d,%d) skip flag: %w", mbx, mby, err)
+			}
+			if skip == 1 {
+				copyBlock(out.Y, prev.Y, mbx, mby, mbSize, MV{})
+				copyBlock(out.Cb, prev.Cb, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(out.Cr, prev.Cr, mbx/2, mby/2, mbSize/2, MV{})
+				pred = MV{}
+				continue
+			}
+			dx, err := r.ReadSE()
+			if err != nil {
+				return nil, fmt.Errorf("mb (%d,%d) mv.x: %w", mbx, mby, err)
+			}
+			dy, err := r.ReadSE()
+			if err != nil {
+				return nil, fmt.Errorf("mb (%d,%d) mv.y: %w", mbx, mby, err)
+			}
+			mv := MV{pred.X + int(dx), pred.Y + int(dy)}
+			pred = mv
+
+			d.bd.dcPred = dcY
+			for sub := 0; sub < 4; sub++ {
+				bx := mbx + (sub%2)*transform.BlockSize
+				by := mby + (sub/2)*transform.BlockSize
+				if err := d.bd.decodeBlock(r, out.Y, bx, by, mcPred(prev.Y, bx, by, mv)); err != nil {
+					return nil, fmt.Errorf("mb (%d,%d) luma: %w", mbx, mby, err)
+				}
+			}
+			dcY = d.bd.dcPred
+			cmv := MV{mv.X / 2, mv.Y / 2}
+			cbx, cby := mbx/2, mby/2
+			d.bd.dcPred = dcCb
+			if err := d.bd.decodeBlock(r, out.Cb, cbx, cby, mcPred(prev.Cb, cbx, cby, cmv)); err != nil {
+				return nil, fmt.Errorf("mb (%d,%d) cb: %w", mbx, mby, err)
+			}
+			dcCb = d.bd.dcPred
+			d.bd.dcPred = dcCr
+			if err := d.bd.decodeBlock(r, out.Cr, cbx, cby, mcPred(prev.Cr, cbx, cby, cmv)); err != nil {
+				return nil, fmt.Errorf("mb (%d,%d) cr: %w", mbx, mby, err)
+			}
+			dcCr = d.bd.dcPred
+		}
+	}
+	return out, nil
+}

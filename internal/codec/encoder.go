@@ -1,0 +1,183 @@
+package codec
+
+import (
+	"fmt"
+
+	"sieve/internal/bitstream"
+	"sieve/internal/frame"
+	"sieve/internal/transform"
+)
+
+// intraShift is the constant prediction used for intra blocks.
+const intraShift = 128
+
+// Encoder compresses a sequence of frames. It is not safe for concurrent
+// use; run one Encoder per stream.
+type Encoder struct {
+	p        Params
+	analyzer *CostAnalyzer
+	recon    *frame.YUV // reconstructed reference (what the decoder will see)
+	num      int        // next frame number
+	sinceI   int        // frames since last I-frame (0 right after an I)
+	bc       *blockCoder
+	w        *bitstream.Writer
+}
+
+// NewEncoder validates p and returns a ready encoder.
+func NewEncoder(p Params) (*Encoder, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		p:        p,
+		analyzer: NewCostAnalyzer(),
+		bc:       newBlockCoder(p.Quality),
+		w:        bitstream.NewWriter(p.Width * p.Height / 4),
+	}, nil
+}
+
+// Params returns the encoder's normalised parameters.
+func (e *Encoder) Params() Params { return e.p }
+
+// Encode compresses the next frame, deciding its type via the GOP/scenecut
+// rule. The input frame is not retained.
+func (e *Encoder) Encode(f *frame.YUV) (*EncodedFrame, error) {
+	cost := e.analyzer.Analyze(f)
+	dist := 0
+	if e.num > 0 {
+		dist = e.sinceI + 1 // distance this frame would have from last I
+	}
+	ft := DecideType(cost, dist, e.p)
+	return e.encodeAs(f, ft, cost)
+}
+
+// EncodeForced compresses the next frame with a caller-chosen type,
+// bypassing the decision rule (frame 0 must still be an I-frame).
+func (e *Encoder) EncodeForced(f *frame.YUV, ft FrameType) (*EncodedFrame, error) {
+	cost := e.analyzer.Analyze(f)
+	if e.num == 0 && ft != FrameI {
+		return nil, fmt.Errorf("codec: frame 0 must be an I-frame")
+	}
+	return e.encodeAs(f, ft, cost)
+}
+
+func (e *Encoder) encodeAs(f *frame.YUV, ft FrameType, cost Cost) (*EncodedFrame, error) {
+	if f.W != e.p.Width || f.H != e.p.Height {
+		return nil, fmt.Errorf("codec: frame %dx%d does not match stream %dx%d",
+			f.W, f.H, e.p.Width, e.p.Height)
+	}
+	if e.recon == nil {
+		e.recon = frame.NewYUV(e.p.Width, e.p.Height)
+		ft = FrameI
+	}
+	e.w.Reset()
+	// One-byte header: frame type in the top bit, quality in the low 7.
+	e.w.WriteBits(uint64(ft)&1, 1)
+	e.w.WriteBits(uint64(e.p.Quality), 7)
+
+	switch ft {
+	case FrameI:
+		e.encodeIntra(f)
+		e.sinceI = 0
+	case FrameP:
+		e.encodeInter(f)
+		e.sinceI++
+	default:
+		return nil, fmt.Errorf("codec: unknown frame type %v", ft)
+	}
+
+	data := make([]byte, len(e.w.Bytes()))
+	copy(data, e.w.Bytes())
+	ef := &EncodedFrame{
+		Number:    e.num,
+		Type:      ft,
+		Data:      data,
+		IntraCost: cost.Intra,
+		InterCost: cost.Inter,
+	}
+	e.num++
+	return ef, nil
+}
+
+func (e *Encoder) encodeIntra(f *frame.YUV) {
+	for _, pl := range []struct{ src, rec *frame.Plane }{
+		{f.Y, e.recon.Y}, {f.Cb, e.recon.Cb}, {f.Cr, e.recon.Cr},
+	} {
+		e.bc.resetDC()
+		for by := 0; by < pl.src.H; by += transform.BlockSize {
+			for bx := 0; bx < pl.src.W; bx += transform.BlockSize {
+				e.bc.encodeBlock(e.w, pl.src, pl.rec, bx, by, constPred)
+			}
+		}
+	}
+}
+
+func constPred(x, y int) int32 { return intraShift }
+
+func (e *Encoder) encodeInter(f *frame.YUV) {
+	ref := e.recon
+	// Luma-grid macroblock loop. Prediction planes are built per block via
+	// closures over the motion vector; the recon planes are updated in place
+	// after each block, which is safe because P-frames predict only from the
+	// *previous* frame's recon, captured below before any writes.
+	prevY := ref.Y.Clone()
+	prevCb := ref.Cb.Clone()
+	prevCr := ref.Cr.Clone()
+
+	e.bc.resetDC()
+	dcY, dcCb, dcCr := int32(0), int32(0), int32(0)
+	pred := MV{}
+	for mby := 0; mby < f.H; mby += mbSize {
+		pred = MV{}
+		for mbx := 0; mbx < f.W; mbx += mbSize {
+			mv, sad := searchMotion(f.Y, prevY, mbx, mby, mbSize, e.p.SearchRange, pred, e.p.Search)
+			if mv == (MV{}) && sad < e.p.SkipSAD {
+				// Skip: decoder copies the co-located block.
+				e.w.WriteBit(1)
+				copyBlock(e.recon.Y, prevY, mbx, mby, mbSize, MV{})
+				copyBlock(e.recon.Cb, prevCb, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(e.recon.Cr, prevCr, mbx/2, mby/2, mbSize/2, MV{})
+				pred = MV{}
+				continue
+			}
+			e.w.WriteBit(0)
+			e.w.WriteSE(int64(mv.X - pred.X))
+			e.w.WriteSE(int64(mv.Y - pred.Y))
+			pred = mv
+
+			// Four 8×8 luma blocks of this macroblock.
+			e.bc.dcPred = dcY
+			for sub := 0; sub < 4; sub++ {
+				bx := mbx + (sub%2)*transform.BlockSize
+				by := mby + (sub/2)*transform.BlockSize
+				e.bc.encodeBlock(e.w, f.Y, e.recon.Y, bx, by, mcPred(prevY, bx, by, mv))
+			}
+			dcY = e.bc.dcPred
+			// One 8×8 block per chroma plane, MV halved.
+			cmv := MV{mv.X / 2, mv.Y / 2}
+			cbx, cby := mbx/2, mby/2
+			e.bc.dcPred = dcCb
+			e.bc.encodeBlock(e.w, f.Cb, e.recon.Cb, cbx, cby, mcPred(prevCb, cbx, cby, cmv))
+			dcCb = e.bc.dcPred
+			e.bc.dcPred = dcCr
+			e.bc.encodeBlock(e.w, f.Cr, e.recon.Cr, cbx, cby, mcPred(prevCr, cbx, cby, cmv))
+			dcCr = e.bc.dcPred
+		}
+	}
+}
+
+// mcPred returns a prediction function reading the motion-compensated
+// reference block at (bx+mv.X, by+mv.Y).
+func mcPred(ref *frame.Plane, bx, by int, mv MV) func(x, y int) int32 {
+	return func(x, y int) int32 {
+		return int32(ref.At(bx+x+mv.X, by+y+mv.Y))
+	}
+}
+
+func copyBlock(dst, src *frame.Plane, bx, by, size int, mv MV) {
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dst.Set(bx+x, by+y, src.At(bx+x+mv.X, by+y+mv.Y))
+		}
+	}
+}

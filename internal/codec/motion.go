@@ -1,0 +1,106 @@
+package codec
+
+import "sieve/internal/frame"
+
+// largeDiamond and smallDiamond are the classic LDSP/SDSP point sets.
+var (
+	largeDiamond = []MV{{0, -2}, {-1, -1}, {1, -1}, {-2, 0}, {2, 0}, {-1, 1}, {1, 1}, {0, 2}}
+	smallDiamond = []MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+)
+
+// searchMotion finds the motion vector minimising SAD for the size×size
+// block at (bx, by) of cur against ref, within ±rangePx of (0,0). pred seeds
+// the search (typically the left neighbour's MV).
+func searchMotion(cur, ref *frame.Plane, bx, by, size, rangePx int, pred MV, method MotionSearch) (MV, int) {
+	if method == SearchFull {
+		return fullSearch(cur, ref, bx, by, size, rangePx)
+	}
+	return diamondSearch(cur, ref, bx, by, size, rangePx, pred)
+}
+
+func clampMV(v, rangePx int) int {
+	if v < -rangePx {
+		return -rangePx
+	}
+	if v > rangePx {
+		return rangePx
+	}
+	return v
+}
+
+func diamondSearch(cur, ref *frame.Plane, bx, by, size, rangePx int, pred MV) (MV, int) {
+	sad := func(mv MV) int {
+		return frame.SAD(cur, bx, by, ref, bx+mv.X, by+mv.Y, size, size)
+	}
+	best := MV{}
+	bestCost := sad(best)
+	// Early exit: a static block needs no search.
+	if bestCost <= size*size/2 {
+		return best, bestCost
+	}
+	pred = MV{clampMV(pred.X, rangePx), clampMV(pred.Y, rangePx)}
+	if pred != best {
+		if c := sad(pred); c < bestCost {
+			best, bestCost = pred, c
+		}
+	}
+	// Large diamond until the centre wins.
+	for steps := 0; steps < 2*rangePx; steps++ {
+		improved := false
+		for _, d := range largeDiamond {
+			cand := MV{clampMV(best.X+d.X, rangePx), clampMV(best.Y+d.Y, rangePx)}
+			if cand == best {
+				continue
+			}
+			if c := sad(cand); c < bestCost {
+				best, bestCost = cand, c
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// Small diamond refinement.
+	for _, d := range smallDiamond {
+		cand := MV{clampMV(best.X+d.X, rangePx), clampMV(best.Y+d.Y, rangePx)}
+		if c := sad(cand); c < bestCost {
+			best, bestCost = cand, c
+		}
+	}
+	return best, bestCost
+}
+
+func fullSearch(cur, ref *frame.Plane, bx, by, size, rangePx int) (MV, int) {
+	best := MV{}
+	bestCost := frame.SAD(cur, bx, by, ref, bx, by, size, size)
+	for dy := -rangePx; dy <= rangePx; dy++ {
+		for dx := -rangePx; dx <= rangePx; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			c := frame.SAD(cur, bx, by, ref, bx+dx, by+dy, size, size)
+			if c < bestCost || (c == bestCost && absInt(dx)+absInt(dy) < absInt(best.X)+absInt(best.Y)) {
+				best, bestCost = MV{dx, dy}, c
+			}
+		}
+	}
+	return best, bestCost
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// motionCompensate copies the size×size block at (bx+mv.X, by+mv.Y) of ref
+// into dst at (bx, by), extending borders for out-of-frame references.
+func motionCompensate(dst, ref *frame.Plane, bx, by int, mv MV, size int) {
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dst.Set(bx+x, by+y, ref.At(bx+x+mv.X, by+y+mv.Y))
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package dataflow is a NiFi-like dataflow engine: user-defined processors
+// composed into a graph with bounded, metered connections. It reproduces
+// the execution substrate of the paper's Section V ("each of the edge and
+// cloud servers has a local dataflow engine, Apache NiFi, that handles
+// execution of operators deployed on it").
+//
+// A FlowFile is a unit of data (content + attributes) moving through the
+// graph. Sources produce FlowFiles, processors transform them, and bounded
+// connections provide backpressure: a fast upstream blocks when a slow
+// downstream's queue is full, exactly like NiFi's connection back-pressure
+// thresholds.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FlowFile is the unit of data exchanged between processors.
+type FlowFile struct {
+	// Attrs carries routing and provenance metadata.
+	Attrs map[string]string
+	// Content is the payload.
+	Content []byte
+}
+
+// NewFlowFile builds a FlowFile with a copied attribute map.
+func NewFlowFile(content []byte, attrs map[string]string) *FlowFile {
+	a := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		a[k] = v
+	}
+	return &FlowFile{Attrs: a, Content: content}
+}
+
+// Clone deep-copies the FlowFile (attributes and content).
+func (f *FlowFile) Clone() *FlowFile {
+	c := NewFlowFile(append([]byte(nil), f.Content...), f.Attrs)
+	return c
+}
+
+// Emitter routes a FlowFile to one of a processor's named output ports.
+// Port "" is the default port.
+type Emitter func(port string, f *FlowFile)
+
+// Source produces FlowFiles. Next returns ErrEndOfStream when exhausted.
+type Source interface {
+	Next() (*FlowFile, error)
+}
+
+// ErrEndOfStream signals a source has no more FlowFiles.
+var ErrEndOfStream = errors.New("dataflow: end of stream")
+
+// Processor consumes one FlowFile and emits zero or more results.
+type Processor interface {
+	Process(f *FlowFile, emit Emitter) error
+}
+
+// ProcessorFunc adapts a function to the Processor interface.
+type ProcessorFunc func(f *FlowFile, emit Emitter) error
+
+// Process implements Processor.
+func (fn ProcessorFunc) Process(f *FlowFile, emit Emitter) error { return fn(f, emit) }
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (*FlowFile, error)
+
+// Next implements Source.
+func (fn SourceFunc) Next() (*FlowFile, error) { return fn() }
+
+// ConnStats is a connection's transfer accounting.
+type ConnStats struct {
+	Name  string
+	Files int64
+	Bytes int64
+}
+
+// conn is a bounded queue between two nodes.
+type conn struct {
+	name  string
+	ch    chan *FlowFile
+	files atomic.Int64
+	bytes atomic.Int64
+}
+
+func (c *conn) push(f *FlowFile) {
+	c.ch <- f
+	c.files.Add(1)
+	c.bytes.Add(int64(len(f.Content)))
+}
+
+// node is a processor or source plus its wiring.
+type node struct {
+	name string
+	src  Source
+	proc Processor
+	// in is the node's input queue (nil for sources).
+	in *conn
+	// outs maps port name to downstream connections (fan-out duplicates).
+	outs map[string][]*conn
+	// upstream counts how many connections feed `in`.
+	upstream int
+}
+
+// Engine owns a dataflow graph and runs it to completion.
+type Engine struct {
+	name  string
+	nodes map[string]*node
+	conns []*conn
+	// DefaultQueueCap bounds connections created by Connect (default 64).
+	DefaultQueueCap int
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewEngine creates an empty engine (name is used in errors/metrics).
+func NewEngine(name string) *Engine {
+	return &Engine{
+		name:            name,
+		nodes:           make(map[string]*node),
+		DefaultQueueCap: 64,
+	}
+}
+
+// AddSource registers a source node.
+func (e *Engine) AddSource(name string, s Source) error {
+	return e.addNode(&node{name: name, src: s, outs: map[string][]*conn{}})
+}
+
+// AddProcessor registers a processing node.
+func (e *Engine) AddProcessor(name string, p Processor) error {
+	return e.addNode(&node{name: name, proc: p, outs: map[string][]*conn{}})
+}
+
+func (e *Engine) addNode(n *node) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("dataflow: %s: cannot add nodes after Run", e.name)
+	}
+	if _, dup := e.nodes[n.name]; dup {
+		return fmt.Errorf("dataflow: %s: duplicate node %q", e.name, n.name)
+	}
+	e.nodes[n.name] = n
+	return nil
+}
+
+// Connect wires fromNode's output port to toNode's input with a bounded
+// queue. Multiple connections from one port fan out (each downstream gets
+// its own copy); multiple connections into one node fan in.
+func (e *Engine) Connect(fromNode, port, toNode string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("dataflow: %s: cannot connect after Run", e.name)
+	}
+	from, ok := e.nodes[fromNode]
+	if !ok {
+		return fmt.Errorf("dataflow: %s: unknown node %q", e.name, fromNode)
+	}
+	to, ok := e.nodes[toNode]
+	if !ok {
+		return fmt.Errorf("dataflow: %s: unknown node %q", e.name, toNode)
+	}
+	if to.src != nil {
+		return fmt.Errorf("dataflow: %s: cannot connect into source %q", e.name, toNode)
+	}
+	if to.in == nil {
+		to.in = &conn{
+			name: fmt.Sprintf("%s->%s", fromNode, toNode),
+			ch:   make(chan *FlowFile, e.DefaultQueueCap),
+		}
+		e.conns = append(e.conns, to.in)
+	}
+	to.upstream++
+	from.outs[port] = append(from.outs[port], to.in)
+	return nil
+}
+
+// Stats returns per-connection transfer counters.
+func (e *Engine) Stats() []ConnStats {
+	out := make([]ConnStats, 0, len(e.conns))
+	for _, c := range e.conns {
+		out = append(out, ConnStats{Name: c.name, Files: c.files.Load(), Bytes: c.bytes.Load()})
+	}
+	return out
+}
+
+// Run executes the graph until every source is exhausted and every queue
+// drained, or ctx is cancelled, or a node fails. It returns the first error.
+func (e *Engine) Run(ctx context.Context) error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return fmt.Errorf("dataflow: %s: already run", e.name)
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Track how many upstream writers each input connection has, so it can
+	// be closed exactly once after all of them finish.
+	writers := make(map[*conn]*sync.WaitGroup)
+	for _, n := range e.nodes {
+		if n.in != nil {
+			wg := &sync.WaitGroup{}
+			wg.Add(n.upstream)
+			writers[n.in] = wg
+		}
+	}
+	closeDownstream := func(n *node) {
+		seen := map[*conn]bool{}
+		for _, conns := range n.outs {
+			for _, c := range conns {
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				if wg := writers[c]; wg != nil {
+					wg.Done()
+				}
+			}
+		}
+	}
+	for c, wg := range writers {
+		go func(c *conn, wg *sync.WaitGroup) {
+			wg.Wait()
+			close(c.ch)
+		}(c, wg)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for _, n := range e.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			defer closeDownstream(n)
+			emit := func(port string, f *FlowFile) {
+				conns := n.outs[port]
+				for i, c := range conns {
+					out := f
+					if i > 0 { // fan-out duplicates after the first
+						out = f.Clone()
+					}
+					select {
+					case <-runCtx.Done():
+						return
+					default:
+					}
+					c.push(out)
+				}
+			}
+			if n.src != nil {
+				for {
+					select {
+					case <-runCtx.Done():
+						return
+					default:
+					}
+					f, err := n.src.Next()
+					if errors.Is(err, ErrEndOfStream) {
+						return
+					}
+					if err != nil {
+						fail(fmt.Errorf("dataflow: %s/%s: %w", e.name, n.name, err))
+						return
+					}
+					emit("", f)
+				}
+			}
+			if n.in == nil {
+				// A processor with no inputs has nothing to do.
+				return
+			}
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case f, ok := <-n.in.ch:
+					if !ok {
+						return
+					}
+					if err := n.proc.Process(f, emit); err != nil {
+						fail(fmt.Errorf("dataflow: %s/%s: %w", e.name, n.name, err))
+						return
+					}
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

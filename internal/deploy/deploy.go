@@ -1,0 +1,187 @@
+// Package deploy is the Echo-like orchestration layer of the paper's
+// testbed: it names dataflow engines by site ("edge", "cloud"), bridges a
+// processor's output port on one site to a processor's input on another
+// over a metered simnet link, and runs the whole multi-site dataflow as one
+// unit. This reproduces how the evaluation wires the two NiFi instances
+// together ("we use Echo orchestration framework to handle the
+// communication between the two NiFi instances").
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sieve/internal/dataflow"
+	"sieve/internal/simnet"
+)
+
+// Site is one engine placement (e.g. the edge desktop or the cloud server).
+type Site struct {
+	Name   string
+	Engine *dataflow.Engine
+}
+
+// Orchestrator owns the sites and the inter-site bridges.
+type Orchestrator struct {
+	mu      sync.Mutex
+	sites   map[string]*Site
+	bridges []*bridge
+	started bool
+}
+
+// bridge forwards FlowFiles from a port on one site into a relay processor
+// on another site, accounting every byte on the link.
+type bridge struct {
+	link *simnet.Link
+	// relay is registered on the destination engine; files pushed into it
+	// continue through the destination graph.
+	relayName string
+	from      *Site
+	fromNode  string
+	fromPort  string
+	to        *Site
+	toNode    string
+	queue     chan *dataflow.FlowFile
+}
+
+// NewOrchestrator returns an empty orchestrator.
+func NewOrchestrator() *Orchestrator {
+	return &Orchestrator{sites: make(map[string]*Site)}
+}
+
+// AddSite registers an engine under a site name.
+func (o *Orchestrator) AddSite(name string, e *dataflow.Engine) (*Site, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.sites[name]; dup {
+		return nil, fmt.Errorf("deploy: duplicate site %q", name)
+	}
+	s := &Site{Name: name, Engine: e}
+	o.sites[name] = s
+	return s, nil
+}
+
+// Site returns a registered site.
+func (o *Orchestrator) Site(name string) (*Site, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.sites[name]
+	return s, ok
+}
+
+// Bridge connects fromSite/fromNode's output port to toSite/toNode's input
+// across the given link. Every FlowFile crossing the bridge pays the link's
+// (virtual) transfer time and is counted in the link's byte meter.
+func (o *Orchestrator) Bridge(fromSite, fromNode, fromPort, toSite, toNode string, link *simnet.Link) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.started {
+		return fmt.Errorf("deploy: cannot bridge after Run")
+	}
+	from, ok := o.sites[fromSite]
+	if !ok {
+		return fmt.Errorf("deploy: unknown site %q", fromSite)
+	}
+	to, ok := o.sites[toSite]
+	if !ok {
+		return fmt.Errorf("deploy: unknown site %q", toSite)
+	}
+	if link == nil {
+		return fmt.Errorf("deploy: nil link")
+	}
+	b := &bridge{
+		link:      link,
+		relayName: fmt.Sprintf("bridge:%s/%s->%s/%s", fromSite, fromNode, toSite, toNode),
+		from:      from, fromNode: fromNode, fromPort: fromPort,
+		to: to, toNode: toNode,
+		queue: make(chan *dataflow.FlowFile, 64),
+	}
+	// Egress: a sink processor on the source engine that sends into the
+	// bridge queue (paying the link cost).
+	egress := dataflow.ProcessorFunc(func(f *dataflow.FlowFile, _ dataflow.Emitter) error {
+		b.link.Send(int64(len(f.Content)))
+		b.queue <- f
+		return nil
+	})
+	egressName := b.relayName + ":egress"
+	if err := from.Engine.AddProcessor(egressName, egress); err != nil {
+		return err
+	}
+	if err := from.Engine.Connect(fromNode, fromPort, egressName); err != nil {
+		return err
+	}
+	// Ingress: a source on the destination engine draining the queue.
+	ingress := dataflow.SourceFunc(func() (*dataflow.FlowFile, error) {
+		f, ok := <-b.queue
+		if !ok {
+			return nil, dataflow.ErrEndOfStream
+		}
+		return f, nil
+	})
+	ingressName := b.relayName + ":ingress"
+	if err := to.Engine.AddSource(ingressName, ingress); err != nil {
+		return err
+	}
+	if err := to.Engine.Connect(ingressName, "", b.toNode); err != nil {
+		return err
+	}
+	o.bridges = append(o.bridges, b)
+	return nil
+}
+
+// Run executes every site's engine concurrently until all complete. Bridge
+// queues are closed when their source site finishes, letting downstream
+// sites drain and terminate.
+func (o *Orchestrator) Run(ctx context.Context) error {
+	o.mu.Lock()
+	if o.started {
+		o.mu.Unlock()
+		return fmt.Errorf("deploy: already run")
+	}
+	o.started = true
+	sites := make([]*Site, 0, len(o.sites))
+	for _, s := range o.sites {
+		sites = append(sites, s)
+	}
+	bridges := o.bridges
+	o.mu.Unlock()
+
+	// Order sites so upstreams (bridge sources) finish before downstream
+	// bridge queues close: run all engines concurrently, but close each
+	// bridge's queue once its source engine returns.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	engineDone := make(map[string]chan struct{}, len(sites))
+	for _, s := range sites {
+		engineDone[s.Name] = make(chan struct{})
+	}
+	for _, s := range sites {
+		wg.Add(1)
+		go func(s *Site) {
+			defer wg.Done()
+			defer close(engineDone[s.Name])
+			if err := s.Engine.Run(ctx); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("deploy: site %s: %w", s.Name, err)
+				}
+				errMu.Unlock()
+			}
+		}(s)
+	}
+	// Close bridge queues when their source site is done.
+	for _, b := range bridges {
+		wg.Add(1)
+		go func(b *bridge) {
+			defer wg.Done()
+			<-engineDone[b.from.Name]
+			close(b.queue)
+		}(b)
+	}
+	wg.Wait()
+	return firstErr
+}

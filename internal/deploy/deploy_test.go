@@ -1,0 +1,202 @@
+package deploy
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sieve/internal/dataflow"
+	"sieve/internal/simnet"
+)
+
+// buildTwoTier wires source→filter on "edge", bridged to sink on "cloud".
+func buildTwoTier(t *testing.T, n int, link *simnet.Link) (*Orchestrator, *atomic.Int64) {
+	t.Helper()
+	edge := dataflow.NewEngine("edge")
+	cloud := dataflow.NewEngine("cloud")
+
+	i := 0
+	src := dataflow.SourceFunc(func() (*dataflow.FlowFile, error) {
+		if i >= n {
+			return nil, dataflow.ErrEndOfStream
+		}
+		f := dataflow.NewFlowFile(make([]byte, 100), map[string]string{"seq": strconv.Itoa(i)})
+		i++
+		return f, nil
+	})
+	if err := edge.AddSource("camera", src); err != nil {
+		t.Fatal(err)
+	}
+	// Edge filter: forward every 5th file (the I-frame seeker's role).
+	filter := dataflow.ProcessorFunc(func(f *dataflow.FlowFile, emit dataflow.Emitter) error {
+		seq, err := strconv.Atoi(f.Attrs["seq"])
+		if err != nil {
+			return err
+		}
+		if seq%5 == 0 {
+			emit("", f)
+		}
+		return nil
+	})
+	if err := edge.AddProcessor("seeker", filter); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Connect("camera", "", "seeker"); err != nil {
+		t.Fatal(err)
+	}
+
+	var received atomic.Int64
+	sink := dataflow.ProcessorFunc(func(*dataflow.FlowFile, dataflow.Emitter) error {
+		received.Add(1)
+		return nil
+	})
+	if err := cloud.AddProcessor("nn", sink); err != nil {
+		t.Fatal(err)
+	}
+
+	o := NewOrchestrator()
+	if _, err := o.AddSite("edge", edge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddSite("cloud", cloud); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Bridge("edge", "seeker", "", "cloud", "nn", link); err != nil {
+		t.Fatal(err)
+	}
+	return o, &received
+}
+
+func TestTwoTierDataflow(t *testing.T) {
+	link, err := simnet.NewLink("wan", 30e6, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, received := buildTwoTier(t, 100, link)
+	if err := o.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := received.Load(); got != 20 {
+		t.Fatalf("cloud received %d files, want 20", got)
+	}
+	bytes, transfers, _ := link.Stats()
+	if transfers != 20 || bytes != 20*100 {
+		t.Fatalf("link accounted %d transfers / %d bytes", transfers, bytes)
+	}
+}
+
+func TestOrchestratorValidation(t *testing.T) {
+	o := NewOrchestrator()
+	e := dataflow.NewEngine("e")
+	if _, err := o.AddSite("a", e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddSite("a", e); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	link, err := simnet.NewLink("l", 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Bridge("missing", "x", "", "a", "y", link); err == nil {
+		t.Fatal("unknown source site accepted")
+	}
+	if err := o.Bridge("a", "x", "", "missing", "y", link); err == nil {
+		t.Fatal("unknown target site accepted")
+	}
+	if err := o.Bridge("a", "x", "", "a", "y", nil); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	if _, ok := o.Site("a"); !ok {
+		t.Fatal("site lookup failed")
+	}
+}
+
+func TestDoubleRunRejected(t *testing.T) {
+	link, err := simnet.NewLink("wan", 30e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := buildTwoTier(t, 5, link)
+	if err := o.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Run(context.Background()); err == nil {
+		t.Fatal("double Run accepted")
+	}
+}
+
+func TestBridgeChain(t *testing.T) {
+	// Three sites: camera → edge → cloud, two bridges.
+	camera := dataflow.NewEngine("camera")
+	edge := dataflow.NewEngine("edge")
+	cloud := dataflow.NewEngine("cloud")
+
+	i := 0
+	src := dataflow.SourceFunc(func() (*dataflow.FlowFile, error) {
+		if i >= 30 {
+			return nil, dataflow.ErrEndOfStream
+		}
+		i++
+		return dataflow.NewFlowFile(make([]byte, 10), nil), nil
+	})
+	if err := camera.AddSource("sensor", src); err != nil {
+		t.Fatal(err)
+	}
+	// A pass-through on camera so the bridge has a node to tap.
+	pass := dataflow.ProcessorFunc(func(f *dataflow.FlowFile, emit dataflow.Emitter) error {
+		emit("", f)
+		return nil
+	})
+	if err := camera.AddProcessor("encode", pass); err != nil {
+		t.Fatal(err)
+	}
+	if err := camera.Connect("sensor", "", "encode"); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.AddProcessor("store", pass); err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Int64
+	sink := dataflow.ProcessorFunc(func(*dataflow.FlowFile, dataflow.Emitter) error {
+		got.Add(1)
+		return nil
+	})
+	if err := cloud.AddProcessor("db", sink); err != nil {
+		t.Fatal(err)
+	}
+
+	o := NewOrchestrator()
+	for name, e := range map[string]*dataflow.Engine{"camera": camera, "edge": edge, "cloud": cloud} {
+		if _, err := o.AddSite(name, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lan, err := simnet.NewLink("lan", 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan, err := simnet.NewLink("wan", 30e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Bridge("camera", "encode", "", "edge", "store", lan); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Bridge("edge", "store", "", "cloud", "db", wan); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 30 {
+		t.Fatalf("cloud received %d, want 30", got.Load())
+	}
+	lb, _, _ := lan.Stats()
+	wb, _, _ := wan.Stats()
+	if lb != 300 || wb != 300 {
+		t.Fatalf("link bytes lan=%d wan=%d, want 300 each", lb, wb)
+	}
+}

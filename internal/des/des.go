@@ -1,0 +1,113 @@
+// Package des is a small discrete-event pipeline simulator used to model
+// the end-to-end throughput experiments (Figure 4): a video-analytics
+// deployment is a chain of stages (edge compute, WAN transfer, cloud
+// compute), each processing items in order with per-item service times
+// taken from measured micro-costs of this repository's own components.
+//
+// The pipeline recurrence — an item starts at a stage when both the stage
+// is free and the item has left the previous stage — yields the makespan,
+// per-stage busy times, and steady-state throughput.
+package des
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stage is one pipeline stage: a name plus a per-item service time
+// function. A zero service time means the item passes through for free
+// (e.g. a P-frame that the I-frame seeker drops without decoding).
+type Stage struct {
+	Name string
+	// Service returns the stage's processing time for item i.
+	Service func(i int) time.Duration
+}
+
+// Result summarises a simulated run.
+type Result struct {
+	Items    int
+	Makespan time.Duration
+	// Busy is each stage's total service time (its utilisation is
+	// Busy/Makespan).
+	Busy []time.Duration
+	// StageNames mirrors the stage order.
+	StageNames []string
+}
+
+// Throughput returns items per second over the makespan.
+func (r Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Makespan.Seconds()
+}
+
+// Utilization returns stage s's busy fraction.
+func (r Result) Utilization(s int) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Busy[s]) / float64(r.Makespan)
+}
+
+// Simulate runs n items through the stages and returns the timing summary.
+func Simulate(n int, stages []Stage) (Result, error) {
+	if n < 0 {
+		return Result{}, fmt.Errorf("des: negative item count %d", n)
+	}
+	if len(stages) == 0 {
+		return Result{}, fmt.Errorf("des: no stages")
+	}
+	res := Result{
+		Items:      n,
+		Busy:       make([]time.Duration, len(stages)),
+		StageNames: make([]string, len(stages)),
+	}
+	for s, st := range stages {
+		res.StageNames[s] = st.Name
+		if st.Service == nil {
+			return Result{}, fmt.Errorf("des: stage %q has no service function", st.Name)
+		}
+	}
+	if n == 0 {
+		return res, nil
+	}
+	// done[s] = completion time of the previous item at stage s.
+	done := make([]time.Duration, len(stages))
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		var ready time.Duration // completion at previous stage for this item
+		for s, st := range stages {
+			start := max(ready, done[s])
+			d := st.Service(i)
+			if d < 0 {
+				return Result{}, fmt.Errorf("des: stage %q returned negative service time", st.Name)
+			}
+			end := start + d
+			res.Busy[s] += d
+			done[s] = end
+			ready = end
+		}
+		last = ready
+	}
+	res.Makespan = last
+	return res, nil
+}
+
+// Bottleneck returns the index and utilisation of the busiest stage.
+func (r Result) Bottleneck() (int, float64) {
+	best, u := 0, 0.0
+	for s := range r.Busy {
+		if v := r.Utilization(s); v > u {
+			best, u = s, v
+		}
+	}
+	return best, u
+}
+
+func max(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func constStage(name string, d time.Duration) Stage {
+	return Stage{Name: name, Service: func(int) time.Duration { return d }}
+}
+
+func TestSingleStage(t *testing.T) {
+	r, err := Simulate(10, []Stage{constStage("s", time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 10*time.Millisecond {
+		t.Fatalf("makespan %v", r.Makespan)
+	}
+	if got := r.Throughput(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("throughput %v", got)
+	}
+	if r.Utilization(0) != 1 {
+		t.Fatalf("utilisation %v", r.Utilization(0))
+	}
+}
+
+func TestPipelineBottleneck(t *testing.T) {
+	// Steady-state throughput equals the slowest stage's rate.
+	stages := []Stage{
+		constStage("fast1", time.Millisecond),
+		constStage("slow", 4*time.Millisecond),
+		constStage("fast2", 2*time.Millisecond),
+	}
+	r, err := Simulate(1000, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTp := 250.0 // 1/4ms
+	if got := r.Throughput(); math.Abs(got-wantTp)/wantTp > 0.02 {
+		t.Fatalf("throughput %v, want ~%v", got, wantTp)
+	}
+	idx, u := r.Bottleneck()
+	if idx != 1 {
+		t.Fatalf("bottleneck stage %d, want 1", idx)
+	}
+	if u < 0.99 {
+		t.Fatalf("bottleneck utilisation %v", u)
+	}
+}
+
+func TestZeroServiceItemsPassThrough(t *testing.T) {
+	// Items with zero service time (P-frames skipped by the seeker) cost
+	// nothing anywhere.
+	stages := []Stage{
+		{Name: "seek", Service: func(i int) time.Duration {
+			if i%10 == 0 { // I-frames only
+				return time.Millisecond
+			}
+			return 0
+		}},
+	}
+	r, err := Simulate(100, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 10*time.Millisecond {
+		t.Fatalf("makespan %v, want 10ms", r.Makespan)
+	}
+}
+
+func TestPipeliningOverlapsStages(t *testing.T) {
+	// Two equal stages: makespan = (n+1) * d, not 2n*d.
+	d := time.Millisecond
+	r, err := Simulate(100, []Stage{constStage("a", d), constStage("b", d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 101 * d
+	if r.Makespan != want {
+		t.Fatalf("makespan %v, want %v", r.Makespan, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(-1, []Stage{constStage("s", 0)}); err == nil {
+		t.Fatal("negative items accepted")
+	}
+	if _, err := Simulate(1, nil); err == nil {
+		t.Fatal("no stages accepted")
+	}
+	if _, err := Simulate(1, []Stage{{Name: "nil"}}); err == nil {
+		t.Fatal("nil service accepted")
+	}
+	neg := Stage{Name: "neg", Service: func(int) time.Duration { return -time.Second }}
+	if _, err := Simulate(1, []Stage{neg}); err == nil {
+		t.Fatal("negative service accepted")
+	}
+	r, err := Simulate(0, []Stage{constStage("s", time.Second)})
+	if err != nil || r.Makespan != 0 || r.Throughput() != 0 {
+		t.Fatalf("empty run: %+v, %v", r, err)
+	}
+}
+
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	// Makespan >= max over stages of total busy time, and >= any single
+	// item's end-to-end service.
+	f := func(seed int64, nItems uint8) bool {
+		n := int(nItems%50) + 1
+		svc := func(stage int) func(int) time.Duration {
+			return func(i int) time.Duration {
+				v := (seed>>uint(stage*7))&0xF + int64(i%3)
+				return time.Duration(v) * time.Millisecond
+			}
+		}
+		stages := []Stage{
+			{Name: "a", Service: svc(0)},
+			{Name: "b", Service: svc(1)},
+			{Name: "c", Service: svc(2)},
+		}
+		r, err := Simulate(n, stages)
+		if err != nil {
+			return false
+		}
+		for s := range stages {
+			if r.Busy[s] > r.Makespan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	stages := []Stage{
+		constStage("edge", 100*time.Microsecond),
+		constStage("wan", 300*time.Microsecond),
+		constStage("cloud", 200*time.Microsecond),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(10000, stages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

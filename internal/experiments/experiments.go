@@ -1,0 +1,587 @@
+// Package experiments regenerates every table and figure of the SiEVE
+// paper's evaluation (Section V) from this repository's own components:
+//
+//	Figure 3 — accuracy vs sampled-frame share for SiEVE/SIFT/MSE
+//	Table I  — the dataset inventory
+//	Table II — semantic vs default encoder parameters (Acc/SS/F1)
+//	Table III— event-detection speed (fps) per resolution
+//	Figure 4 — end-to-end throughput of the five deployments
+//	Figure 5 — bytes moved camera→edge and edge→cloud
+//
+// Each experiment returns a structured result plus a text rendering whose
+// rows mirror the paper's presentation. Scale defaults are laptop-sized;
+// the paper's absolute numbers come from hours of 30 fps video, so compare
+// shapes (orderings, ratios, crossovers), not absolutes — see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sieve/internal/codec"
+	"sieve/internal/container"
+	"sieve/internal/frame"
+	"sieve/internal/labels"
+	"sieve/internal/pipeline"
+	"sieve/internal/synth"
+	"sieve/internal/tuner"
+	"sieve/internal/vision"
+)
+
+// Opts scales the experiments.
+type Opts struct {
+	// Seconds of evaluation video per feed (default 120).
+	Seconds int
+	// TrainSeconds of tuning video per labelled feed (default = Seconds).
+	TrainSeconds int
+	// FPS of the synthetic feeds (default 10).
+	FPS int
+}
+
+func (o *Opts) fill() {
+	if o.Seconds <= 0 {
+		o.Seconds = 120
+	}
+	if o.TrainSeconds <= 0 {
+		o.TrainSeconds = o.Seconds
+	}
+	if o.FPS <= 0 {
+		o.FPS = 10
+	}
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Point is one (sampling share, accuracy) measurement.
+type Fig3Point struct {
+	Share float64
+	Acc   float64
+}
+
+// Fig3Series holds one method's curve.
+type Fig3Series struct {
+	Method string
+	Points []Fig3Point
+}
+
+// Fig3Result is the accuracy-vs-share comparison for one dataset.
+type Fig3Result struct {
+	Dataset string
+	Series  []Fig3Series
+}
+
+// fig3Shares are the sampling rates of the paper's x-axis (0.5%–3.5%).
+var fig3Shares = []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035}
+
+// Figure3 reproduces the accuracy-at-matched-sampling-rate comparison for
+// one labelled preset. SiEVE's points come from sweep configurations whose
+// I-frame share falls at each target rate; SIFT and MSE thresholds are
+// tuned (on the same video, as the paper tunes on the training split) to
+// sample the same share of frames.
+func Figure3(name synth.PresetName, opts Opts) (Fig3Result, error) {
+	opts.fill()
+	res := Fig3Result{Dataset: string(name)}
+	v, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
+	if err != nil {
+		return res, err
+	}
+	track := v.Track()
+
+	// SiEVE: replay a dense config grid, then pick, for each target share,
+	// the best accuracy among configurations within the share budget.
+	costs := tuner.AnalyzeCosts(v)
+	sweep := tuner.Sweep{
+		GOPs:      []int{20, 25, 33, 50, 75, 100, 150, 250, 500, 1000},
+		Scenecuts: []float64{0, 20, 40, 100, 150, 200, 250, 300},
+	}
+	results, _ := tuner.RunSweep(costs, track, sweep, tuner.DefaultMinGOP)
+	sieve := Fig3Series{Method: "SiEVE"}
+	for _, share := range fig3Shares {
+		best := -1.0
+		for _, r := range results {
+			if r.SS <= share+0.002 && r.Acc > best {
+				best = r.Acc
+			}
+		}
+		if best >= 0 {
+			sieve.Points = append(sieve.Points, Fig3Point{Share: share, Acc: best})
+		}
+	}
+	res.Series = append(res.Series, sieve)
+
+	// Baselines: score every frame once, then sweep thresholds.
+	for _, det := range []vision.Detector{
+		vision.NewSIFT(vision.SIFTConfig{}),
+		vision.NewMSE(),
+	} {
+		i := 0
+		scores := vision.Scores(det, func() *frame.YUV {
+			if i >= v.NumFrames() {
+				return nil
+			}
+			f := v.Frame(i)
+			i++
+			return f
+		})
+		series := Fig3Series{Method: strings.ToUpper(det.Name())}
+		for _, share := range fig3Shares {
+			th := vision.ThresholdForShare(scores, share)
+			samples := vision.SampleIndices(scores, th)
+			series.Points = append(series.Points, Fig3Point{
+				Share: share,
+				Acc:   labels.Accuracy(track, samples),
+			})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Render prints the figure as aligned rows.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — accuracy vs %% sampled frames (%s)\n", r.Dataset)
+	fmt.Fprintf(&b, "%-8s", "share")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%10s", s.Method)
+	}
+	b.WriteByte('\n')
+	for i, share := range fig3Shares {
+		fmt.Fprintf(&b, "%-8.3f", share)
+		for _, s := range r.Series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.Share == share {
+					val = fmt.Sprintf("%.3f", p.Acc)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%10s", val)
+		}
+		b.WriteByte('\n')
+		_ = i
+	}
+	return b.String()
+}
+
+// MeanGapOver returns how much series a outperforms series b on average
+// (their common shares) — the paper's "+11% vs SIFT" style numbers.
+func (r Fig3Result) MeanGapOver(a, b string) float64 {
+	var sa, sb *Fig3Series
+	for i := range r.Series {
+		switch r.Series[i].Method {
+		case a:
+			sa = &r.Series[i]
+		case b:
+			sb = &r.Series[i]
+		}
+	}
+	if sa == nil || sb == nil {
+		return 0
+	}
+	bByShare := make(map[float64]float64, len(sb.Points))
+	for _, p := range sb.Points {
+		bByShare[p.Share] = p.Acc
+	}
+	var sum float64
+	n := 0
+	for _, p := range sa.Points {
+		if acc, ok := bByShare[p.Share]; ok {
+			sum += p.Acc - acc
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Row describes one dataset.
+type Table1Row struct {
+	Name        string
+	Objects     string
+	Resolution  string
+	FPS         int
+	Labelled    bool
+	Description string
+}
+
+// Table1 returns the dataset inventory (mirrors the paper's Table I on the
+// axes the synthetic feeds reproduce).
+func Table1(opts Opts) []Table1Row {
+	opts.fill()
+	rows := make([]Table1Row, 0, 5)
+	for _, name := range synth.AllPresets() {
+		v, err := synth.Preset(name, synth.PresetOpts{Seconds: 1, FPS: opts.FPS})
+		if err != nil {
+			continue
+		}
+		spec := v.Spec()
+		classes := map[string]bool{}
+		for _, o := range spec.Objects {
+			classes[string(o.Class)] = true
+		}
+		// Describe the schedule's classes even if the 1s window is empty.
+		names := describePresetClasses(name)
+		labelled := false
+		for _, p := range synth.LabelledPresets() {
+			if p == name {
+				labelled = true
+			}
+		}
+		rows = append(rows, Table1Row{
+			Name:        string(name),
+			Objects:     names,
+			Resolution:  fmt.Sprintf("%dx%d", spec.Width, spec.Height),
+			FPS:         spec.FPS,
+			Labelled:    labelled,
+			Description: presetDescription(name),
+		})
+	}
+	return rows
+}
+
+func describePresetClasses(name synth.PresetName) string {
+	switch name {
+	case synth.JacksonSquare:
+		return "car, bus, truck"
+	case synth.CoralReef:
+		return "person"
+	case synth.Venice:
+		return "boat"
+	case synth.Taipei, synth.Amsterdam:
+		return "car, person"
+	default:
+		return ""
+	}
+}
+
+func presetDescription(name synth.PresetName) string {
+	switch name {
+	case synth.JacksonSquare:
+		return "close-up vehicles crossing a square (tree clutter)"
+	case synth.CoralReef:
+		return "small persons, calm scene, light flicker"
+	case synth.Venice:
+		return "small slow boats, water shimmer"
+	case synth.Taipei:
+		return "busy mixed traffic (unlabelled)"
+	case synth.Amsterdam:
+		return "intersection traffic (unlabelled)"
+	default:
+		return ""
+	}
+}
+
+// RenderTable1 prints the inventory.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table I — datasets\n")
+	fmt.Fprintf(&b, "%-16s %-16s %-10s %-4s %-7s %s\n", "dataset", "objects", "res", "fps", "labels", "description")
+	for _, r := range rows {
+		lab := "no"
+		if r.Labelled {
+			lab = "yes"
+		}
+		fmt.Fprintf(&b, "%-16s %-16s %-10s %-4d %-7s %s\n",
+			r.Name, r.Objects, r.Resolution, r.FPS, lab, r.Description)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Row compares tuned and default parameters on one dataset.
+type Table2Row struct {
+	Dataset  string
+	Semantic tuner.Result
+	Default  tuner.Result
+}
+
+// Table2 tunes each labelled preset on a training split and scores both the
+// tuned and the default configuration on the evaluation split.
+func Table2(opts Opts) ([]Table2Row, error) {
+	opts.fill()
+	rows := make([]Table2Row, 0, 3)
+	for _, name := range synth.LabelledPresets() {
+		train, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.TrainSeconds, FPS: opts.FPS, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		best, err := tuner.Tune(train, train.Track(), tuner.DefaultSweep())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tuning %s: %w", name, err)
+		}
+		test, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
+		if err != nil {
+			return nil, err
+		}
+		costs := tuner.AnalyzeCosts(test)
+		track := test.Track()
+		semantic := tuner.Evaluate(track,
+			tuner.ReplayPlacement(costs, best.Config, tuner.DefaultMinGOP), best.Config)
+		def := tuner.Evaluate(track,
+			tuner.ReplayPlacement(costs, tuner.DefaultConfig(), 1), tuner.DefaultConfig())
+		rows = append(rows, Table2Row{Dataset: string(name), Semantic: semantic, Default: def})
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the comparison in the paper's Acc/SS/F1 layout.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II — semantic vs default encoder parameters\n")
+	fmt.Fprintf(&b, "%-16s | %-22s %7s %7s %7s | %7s %7s %7s\n",
+		"dataset", "tuned config", "Acc", "SS", "F1", "Acc", "SS", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s | %-22s %6.1f%% %6.2f%% %6.1f%% | %6.1f%% %6.2f%% %6.1f%%\n",
+			r.Dataset, r.Semantic.Config.String(),
+			100*r.Semantic.Acc, 100*r.Semantic.SS, 100*r.Semantic.F1,
+			100*r.Default.Acc, 100*r.Default.SS, 100*r.Default.F1)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table III
+
+// Table3Row is one dataset's event-detection speed comparison.
+type Table3Row struct {
+	Dataset    string
+	Resolution string
+	// SiEVEFPS is the I-frame seeker's metadata-scan rate; MSEFPS and
+	// SIFTFPS include the mandatory per-frame decode the baselines pay.
+	SiEVEFPS, MSEFPS, SIFTFPS float64
+}
+
+// Table3 measures how many frames per second each event-detection approach
+// sustains, per dataset resolution, on this host.
+func Table3(opts Opts) ([]Table3Row, error) {
+	opts.fill()
+	rows := make([]Table3Row, 0, 3)
+	for _, name := range synth.LabelledPresets() {
+		v, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
+		if err != nil {
+			return nil, err
+		}
+		spec := v.Spec()
+		row := Table3Row{
+			Dataset:    string(name),
+			Resolution: fmt.Sprintf("%dx%d", spec.Width, spec.Height),
+		}
+
+		// Encode a short stream once (decode work is what's measured).
+		nFrames := v.NumFrames()
+		if nFrames > 40 {
+			nFrames = 40
+		}
+		enc, err := codec.NewEncoder(codec.Params{
+			Width: spec.Width, Height: spec.Height, Quality: 85,
+			GOPSize: 25, Scenecut: 200, MinGOP: tuner.DefaultMinGOP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf := &container.Buffer{}
+		w, err := container.NewWriter(buf, container.StreamInfo{
+			Width: spec.Width, Height: spec.Height, FPS: spec.FPS, Quality: 85,
+		})
+		if err != nil {
+			return nil, err
+		}
+		frames := make([]*frame.YUV, nFrames)
+		for i := 0; i < nFrames; i++ {
+			frames[i] = v.Frame(i)
+			ef, err := enc.Encode(frames[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := w.WriteEncoded(ef); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		r, err := container.NewReader(buf, buf.Size())
+		if err != nil {
+			return nil, err
+		}
+
+		// SiEVE: metadata scan rate.
+		start := time.Now()
+		rounds := 0
+		for time.Since(start) < 5*time.Millisecond {
+			r.ScanMeta(func(container.FrameMeta) bool { return true })
+			rounds++
+		}
+		perFrame := time.Since(start) / time.Duration(rounds*nFrames)
+		if perFrame <= 0 {
+			perFrame = time.Nanosecond
+		}
+		row.SiEVEFPS = float64(time.Second) / float64(perFrame)
+
+		// MSE: sequential decode + similarity on every frame.
+		dec, err := codec.NewDecoder(r.Info().CodecParams())
+		if err != nil {
+			return nil, err
+		}
+		mse := vision.NewMSE()
+		start = time.Now()
+		for i := 0; i < nFrames; i++ {
+			payload, err := r.Payload(i)
+			if err != nil {
+				return nil, err
+			}
+			img, err := dec.Decode(payload)
+			if err != nil {
+				return nil, err
+			}
+			mse.Score(img)
+		}
+		row.MSEFPS = float64(nFrames) / time.Since(start).Seconds()
+
+		// SIFT: decode + keypoints + matching (fewer frames: it is slow).
+		sift := vision.NewSIFT(vision.SIFTConfig{})
+		dec2, err := codec.NewDecoder(r.Info().CodecParams())
+		if err != nil {
+			return nil, err
+		}
+		nSift := nFrames
+		if nSift > 10 {
+			nSift = 10
+		}
+		start = time.Now()
+		for i := 0; i < nSift; i++ {
+			payload, err := r.Payload(i)
+			if err != nil {
+				return nil, err
+			}
+			img, err := dec2.Decode(payload)
+			if err != nil {
+				return nil, err
+			}
+			sift.Score(img)
+		}
+		row.SIFTFPS = float64(nSift) / time.Since(start).Seconds()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints the speed table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table III — event-detection speed (frames/second)\n")
+	fmt.Fprintf(&b, "%-16s %-10s %12s %10s %10s %10s\n",
+		"dataset", "res", "SiEVE", "MSE", "SIFT", "speedup")
+	for _, r := range rows {
+		speedup := 0.0
+		if r.MSEFPS > 0 {
+			speedup = r.SiEVEFPS / r.MSEFPS
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %12.0f %10.1f %10.1f %9.0fx\n",
+			r.Dataset, r.Resolution, r.SiEVEFPS, r.MSEFPS, r.SIFTFPS, speedup)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------- Figures 4/5
+
+// E2EResult holds Figure 4 and Figure 5 data for one workload size.
+type E2EResult struct {
+	NumVideos int
+	Reports   []pipeline.Report
+}
+
+// E2E prepares assets for the first n presets and evaluates all five
+// methods (n ∈ {1,3,5} reproduces Figure 4's x-axis).
+func E2E(numVideos []int, opts Opts) ([]E2EResult, error) {
+	opts.fill()
+	maxN := 0
+	for _, n := range numVideos {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	presets := synth.AllPresets()
+	if maxN > len(presets) {
+		return nil, fmt.Errorf("experiments: at most %d videos available", len(presets))
+	}
+	assets := make([]*pipeline.VideoAsset, 0, maxN)
+	costs := make(map[string]pipeline.MicroCosts, maxN)
+	for i := 0; i < maxN; i++ {
+		a, err := pipeline.PrepareAsset(presets[i], pipeline.AssetOpts{
+			Seconds: opts.Seconds, FPS: opts.FPS, TrainSeconds: opts.TrainSeconds,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing %s: %w", presets[i], err)
+		}
+		mc, err := pipeline.MeasureCosts(a, nil)
+		if err != nil {
+			return nil, err
+		}
+		assets = append(assets, a)
+		costs[a.Name] = mc
+	}
+	cluster := pipeline.DefaultCluster()
+	out := make([]E2EResult, 0, len(numVideos))
+	for _, n := range numVideos {
+		res := E2EResult{NumVideos: n}
+		for _, m := range pipeline.AllMethods() {
+			rep, err := pipeline.Evaluate(m, assets[:n], costs, cluster)
+			if err != nil {
+				return nil, err
+			}
+			res.Reports = append(res.Reports, rep)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderFigure4 prints throughput per method and workload size.
+func RenderFigure4(results []E2EResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — end-to-end throughput (frames/second)\n")
+	fmt.Fprintf(&b, "%-26s", "method")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%12s", fmt.Sprintf("%d video(s)", r.NumVideos))
+	}
+	b.WriteByte('\n')
+	if len(results) == 0 {
+		return b.String()
+	}
+	for i := range results[0].Reports {
+		fmt.Fprintf(&b, "%-26s", results[0].Reports[i].Method)
+		for _, r := range results {
+			fmt.Fprintf(&b, "%12.0f", r.Reports[i].Throughput)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints the per-hop transfer totals for the largest workload.
+func RenderFigure5(results []E2EResult) string {
+	var b strings.Builder
+	if len(results) == 0 {
+		return ""
+	}
+	// Largest workload mirrors the paper's 5-video totals.
+	sorted := make([]E2EResult, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NumVideos > sorted[j].NumVideos })
+	r := sorted[0]
+	fmt.Fprintf(&b, "Figure 5 — data transfer, %d video(s)\n", r.NumVideos)
+	fmt.Fprintf(&b, "%-26s %16s %16s\n", "method", "camera→edge", "edge→cloud")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, "%-26s %13.2f MB %13.2f MB\n",
+			rep.Method, float64(rep.CameraEdgeBytes)/1e6, float64(rep.EdgeCloudBytes)/1e6)
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+// Package frame defines the pixel-domain types shared by the SiEVE codec,
+// the synthetic video renderer, the vision baselines and the neural network:
+// planar YUV 4:2:0 images, single-channel planes, and the block/plane
+// difference metrics (SAD, SSE, MSE, PSNR) the rest of the system is built on.
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plane is a single 8-bit image channel with an explicit stride so that
+// sub-rectangles can alias a parent plane without copying.
+type Plane struct {
+	Pix    []byte
+	Stride int
+	W, H   int
+}
+
+// NewPlane allocates a zeroed W×H plane with Stride == W.
+func NewPlane(w, h int) *Plane {
+	return &Plane{Pix: make([]byte, w*h), Stride: w, W: w, H: h}
+}
+
+// At returns the pixel at (x, y). Out-of-range coordinates are clamped to
+// the plane edge, matching the border-extension rule video codecs use for
+// motion vectors that point outside the frame.
+func (p *Plane) At(x, y int) byte {
+	if x < 0 {
+		x = 0
+	} else if x >= p.W {
+		x = p.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= p.H {
+		y = p.H - 1
+	}
+	return p.Pix[y*p.Stride+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (p *Plane) Set(x, y int, v byte) {
+	if x < 0 || x >= p.W || y < 0 || y >= p.H {
+		return
+	}
+	p.Pix[y*p.Stride+x] = v
+}
+
+// Row returns the pixels of row y (length W). The slice aliases the plane.
+func (p *Plane) Row(y int) []byte {
+	return p.Pix[y*p.Stride : y*p.Stride+p.W]
+}
+
+// Fill sets every pixel to v.
+func (p *Plane) Fill(v byte) {
+	for y := 0; y < p.H; y++ {
+		row := p.Row(y)
+		for x := range row {
+			row[x] = v
+		}
+	}
+}
+
+// Clone returns a deep copy with a compact stride.
+func (p *Plane) Clone() *Plane {
+	q := NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		copy(q.Row(y), p.Row(y))
+	}
+	return q
+}
+
+// Equal reports whether two planes have identical dimensions and pixels.
+func (p *Plane) Equal(q *Plane) bool {
+	if p.W != q.W || p.H != q.H {
+		return false
+	}
+	for y := 0; y < p.H; y++ {
+		pr, qr := p.Row(y), q.Row(y)
+		for x := range pr {
+			if pr[x] != qr[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CopyFrom copies q's pixels into p. Panics if dimensions differ.
+func (p *Plane) CopyFrom(q *Plane) {
+	if p.W != q.W || p.H != q.H {
+		panic(fmt.Sprintf("frame: CopyFrom size mismatch %dx%d vs %dx%d", p.W, p.H, q.W, q.H))
+	}
+	for y := 0; y < p.H; y++ {
+		copy(p.Row(y), q.Row(y))
+	}
+}
+
+// YUV is a planar YUV 4:2:0 frame: full-resolution luma, half-resolution
+// chroma in both dimensions. Width and height must be even.
+type YUV struct {
+	Y, Cb, Cr *Plane
+	W, H      int
+}
+
+// NewYUV allocates a zeroed frame. w and h are rounded up to even.
+func NewYUV(w, h int) *YUV {
+	w = (w + 1) &^ 1
+	h = (h + 1) &^ 1
+	return &YUV{
+		Y:  NewPlane(w, h),
+		Cb: NewPlane(w/2, h/2),
+		Cr: NewPlane(w/2, h/2),
+		W:  w, H: h,
+	}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *YUV) Clone() *YUV {
+	return &YUV{Y: f.Y.Clone(), Cb: f.Cb.Clone(), Cr: f.Cr.Clone(), W: f.W, H: f.H}
+}
+
+// Fill sets the whole frame to a constant YUV colour.
+func (f *YUV) Fill(y, cb, cr byte) {
+	f.Y.Fill(y)
+	f.Cb.Fill(cb)
+	f.Cr.Fill(cr)
+}
+
+// Equal reports whether two frames are pixel-identical.
+func (f *YUV) Equal(g *YUV) bool {
+	return f.W == g.W && f.H == g.H &&
+		f.Y.Equal(g.Y) && f.Cb.Equal(g.Cb) && f.Cr.Equal(g.Cr)
+}
+
+// RGB is a color triple used by the renderer; conversion to YUV uses the
+// BT.601 studio-swing matrix, the common choice for surveillance H.264.
+type RGB struct{ R, G, B byte }
+
+// ToYUV converts an RGB color to a (Y, Cb, Cr) triple.
+func (c RGB) ToYUV() (y, cb, cr byte) {
+	r, g, b := float64(c.R), float64(c.G), float64(c.B)
+	yf := 0.299*r + 0.587*g + 0.114*b
+	cbf := 128 - 0.168736*r - 0.331264*g + 0.5*b
+	crf := 128 + 0.5*r - 0.418688*g - 0.081312*b
+	return clamp255(yf), clamp255(cbf), clamp255(crf)
+}
+
+func clamp255(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// Clamp converts an int to a byte, saturating at [0,255].
+func Clamp(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// SAD returns the sum of absolute differences between the w×h block at
+// (ax, ay) in a and the block at (bx, by) in b. Blocks may extend past the
+// plane edges; border pixels are extended (clamped addressing).
+func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
+	sum := 0
+	// Fast path: both blocks fully inside their planes.
+	if ax >= 0 && ay >= 0 && ax+w <= a.W && ay+h <= a.H &&
+		bx >= 0 && by >= 0 && bx+w <= b.W && by+h <= b.H {
+		for y := 0; y < h; y++ {
+			ar := a.Pix[(ay+y)*a.Stride+ax : (ay+y)*a.Stride+ax+w]
+			br := b.Pix[(by+y)*b.Stride+bx : (by+y)*b.Stride+bx+w]
+			for x := 0; x < w; x++ {
+				d := int(ar[x]) - int(br[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(a.At(ax+x, ay+y)) - int(b.At(bx+x, by+y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// SSE returns the sum of squared differences between same-sized planes.
+func SSE(a, b *Plane) int64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: SSE size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var sum int64
+	for y := 0; y < a.H; y++ {
+		ar, br := a.Row(y), b.Row(y)
+		for x := range ar {
+			d := int64(ar[x]) - int64(br[x])
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// MSE returns the mean squared error between two same-sized planes.
+func MSE(a, b *Plane) float64 {
+	return float64(SSE(a, b)) / float64(a.W*a.H)
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two planes.
+// Identical planes return +Inf.
+func PSNR(a, b *Plane) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// PSNRYUV returns the luma PSNR between two frames, the standard
+// single-number codec quality measure.
+func PSNRYUV(a, b *YUV) float64 { return PSNR(a.Y, b.Y) }
+
+// Resize scales src to w×h with bilinear interpolation. It is used to
+// shrink decoded I-frames to the NN input resolution (the paper resizes to
+// the 300×300 YOLO input before shipping frames to the cloud).
+func Resize(src *Plane, w, h int) *Plane {
+	dst := NewPlane(w, h)
+	if src.W == 0 || src.H == 0 || w == 0 || h == 0 {
+		return dst
+	}
+	xRatio := float64(src.W) / float64(w)
+	yRatio := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		sy := (float64(y)+0.5)*yRatio - 0.5
+		y0 := int(math.Floor(sy))
+		fy := sy - float64(y0)
+		for x := 0; x < w; x++ {
+			sx := (float64(x)+0.5)*xRatio - 0.5
+			x0 := int(math.Floor(sx))
+			fx := sx - float64(x0)
+			p00 := float64(src.At(x0, y0))
+			p10 := float64(src.At(x0+1, y0))
+			p01 := float64(src.At(x0, y0+1))
+			p11 := float64(src.At(x0+1, y0+1))
+			top := p00 + (p10-p00)*fx
+			bot := p01 + (p11-p01)*fx
+			dst.Set(x, y, clamp255(top+(bot-top)*fy))
+		}
+	}
+	return dst
+}
+
+// ResizeYUV scales a full frame to w×h (rounded up to even).
+func ResizeYUV(src *YUV, w, h int) *YUV {
+	w = (w + 1) &^ 1
+	h = (h + 1) &^ 1
+	return &YUV{
+		Y:  Resize(src.Y, w, h),
+		Cb: Resize(src.Cb, w/2, h/2),
+		Cr: Resize(src.Cr, w/2, h/2),
+		W:  w, H: h,
+	}
+}

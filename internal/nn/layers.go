@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer is one stage of a feed-forward network. Layers expose cost metadata
+// (FLOPs, output size) so the partitioner can reason about where to run them.
+type Layer interface {
+	// Name identifies the layer for summaries and partition plans.
+	Name() string
+	// OutShape maps an input shape to the layer's output shape.
+	OutShape(in Shape) Shape
+	// FLOPs estimates the multiply-accumulate work for an input shape.
+	FLOPs(in Shape) int64
+	// Forward computes the layer output.
+	Forward(in *Tensor) *Tensor
+}
+
+// Conv2D is a strided 2-D convolution with same-ish padding.
+type Conv2D struct {
+	// Tag is the layer's display name.
+	Tag string
+	// W holds weights indexed [outC][inC][k*k]; B the per-filter bias.
+	W [][][]float32
+	B []float32
+	// K is the (square) kernel size; Stride the spatial stride; Pad the
+	// symmetric zero padding.
+	K, Stride, Pad int
+	InC, OutC      int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D allocates a zero-weight convolution layer.
+func NewConv2D(tag string, inC, outC, k, stride, pad int) *Conv2D {
+	w := make([][][]float32, outC)
+	for o := range w {
+		w[o] = make([][]float32, inC)
+		for i := range w[o] {
+			w[o][i] = make([]float32, k*k)
+		}
+	}
+	return &Conv2D{Tag: tag, W: w, B: make([]float32, outC),
+		K: k, Stride: stride, Pad: pad, InC: inC, OutC: outC}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.Tag }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in Shape) Shape {
+	oh := (in.H+2*c.Pad-c.K)/c.Stride + 1
+	ow := (in.W+2*c.Pad-c.K)/c.Stride + 1
+	return Shape{C: c.OutC, H: oh, W: ow}
+}
+
+// FLOPs implements Layer (2 ops per multiply-accumulate).
+func (c *Conv2D) FLOPs(in Shape) int64 {
+	out := c.OutShape(in)
+	return int64(out.C) * int64(out.H) * int64(out.W) * int64(c.InC) * int64(c.K*c.K) * 2
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) *Tensor {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv %s expects %d channels, got %d", c.Tag, c.InC, in.C))
+	}
+	shape := c.OutShape(Shape{C: in.C, H: in.H, W: in.W})
+	out := NewTensor(shape.C, shape.H, shape.W)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B[oc]
+		for oy := 0; oy < shape.H; oy++ {
+			iy0 := oy*c.Stride - c.Pad
+			for ox := 0; ox < shape.W; ox++ {
+				ix0 := ox*c.Stride - c.Pad
+				acc := bias
+				for ic := 0; ic < c.InC; ic++ {
+					w := c.W[oc][ic]
+					for ky := 0; ky < c.K; ky++ {
+						y := iy0 + ky
+						if y < 0 || y >= in.H {
+							continue
+						}
+						rowBase := (ic*in.H + y) * in.W
+						kBase := ky * c.K
+						for kx := 0; kx < c.K; kx++ {
+							x := ix0 + kx
+							if x < 0 || x >= in.W {
+								continue
+							}
+							acc += w[kBase+kx] * in.Data[rowBase+x]
+						}
+					}
+				}
+				out.Set(oc, oy, ox, acc)
+			}
+		}
+	}
+	return out
+}
+
+// ReLU clamps activations at zero.
+type ReLU struct {
+	Tag string
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.Tag }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in Shape) Shape { return in }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in Shape) int64 { return int64(in.Elems()) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// MaxPool2 halves spatial resolution with 2×2 max pooling.
+type MaxPool2 struct {
+	Tag string
+}
+
+var _ Layer = (*MaxPool2)(nil)
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return m.Tag }
+
+// OutShape implements Layer.
+func (m *MaxPool2) OutShape(in Shape) Shape {
+	return Shape{C: in.C, H: in.H / 2, W: in.W / 2}
+}
+
+// FLOPs implements Layer.
+func (m *MaxPool2) FLOPs(in Shape) int64 { return int64(in.Elems()) }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(in *Tensor) *Tensor {
+	oh, ow := in.H/2, in.W/2
+	out := NewTensor(in.C, oh, ow)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				v := in.At(c, 2*y, 2*x)
+				if u := in.At(c, 2*y, 2*x+1); u > v {
+					v = u
+				}
+				if u := in.At(c, 2*y+1, 2*x); u > v {
+					v = u
+				}
+				if u := in.At(c, 2*y+1, 2*x+1); u > v {
+					v = u
+				}
+				out.Set(c, y, x, v)
+			}
+		}
+	}
+	return out
+}
+
+// Softmax applies a per-spatial-position softmax across channels (the
+// detection head's per-cell class distribution).
+type Softmax struct {
+	Tag string
+}
+
+var _ Layer = (*Softmax)(nil)
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.Tag }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape(in Shape) Shape { return in }
+
+// FLOPs implements Layer.
+func (s *Softmax) FLOPs(in Shape) int64 { return int64(in.Elems()) * 4 }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H, in.W)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			maxV := in.At(0, y, x)
+			for c := 1; c < in.C; c++ {
+				if v := in.At(c, y, x); v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for c := 0; c < in.C; c++ {
+				sum += expApprox(float64(in.At(c, y, x) - maxV))
+			}
+			for c := 0; c < in.C; c++ {
+				out.Set(c, y, x, float32(expApprox(float64(in.At(c, y, x)-maxV))/sum))
+			}
+		}
+	}
+	return out
+}
+
+// expApprox is math.Exp; kept as a hook for faster approximations.
+func expApprox(x float64) float64 {
+	return math.Exp(x)
+}

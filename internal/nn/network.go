@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Network is a feed-forward stack of layers.
+type Network struct {
+	Layers []Layer
+	// Input is the shape the network expects.
+	Input Shape
+}
+
+// Forward runs the full network.
+func (n *Network) Forward(in *Tensor) *Tensor {
+	cur := in
+	for _, l := range n.Layers {
+		cur = l.Forward(cur)
+	}
+	return cur
+}
+
+// ForwardRange runs layers [from, to) — the unit of work the edge or cloud
+// compute engine executes under a partition plan.
+func (n *Network) ForwardRange(in *Tensor, from, to int) *Tensor {
+	cur := in
+	for i := from; i < to && i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(cur)
+	}
+	return cur
+}
+
+// LayerStats describes one layer's cost profile for a given input shape.
+type LayerStats struct {
+	Index int
+	Name  string
+	// In and Out are the layer's input/output shapes.
+	In, Out Shape
+	// FLOPs is the layer's compute cost.
+	FLOPs int64
+	// OutBytes is the wire size of the layer's output (what crosses the
+	// network if the partition cut is placed right after this layer).
+	OutBytes int64
+}
+
+// Stats profiles every layer for the network's input shape.
+func (n *Network) Stats() []LayerStats {
+	out := make([]LayerStats, 0, len(n.Layers))
+	shape := n.Input
+	for i, l := range n.Layers {
+		os := l.OutShape(shape)
+		out = append(out, LayerStats{
+			Index: i, Name: l.Name(),
+			In: shape, Out: os,
+			FLOPs:    l.FLOPs(shape),
+			OutBytes: os.Bytes(),
+		})
+		shape = os
+	}
+	return out
+}
+
+// TotalFLOPs sums the network's compute cost.
+func (n *Network) TotalFLOPs() int64 {
+	var total int64
+	for _, s := range n.Stats() {
+		total += s.FLOPs
+	}
+	return total
+}
+
+// Summary renders a human-readable per-layer table.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-12s %-14s %-14s %12s %12s\n",
+		"#", "layer", "in", "out", "FLOPs", "out bytes")
+	for _, s := range n.Stats() {
+		fmt.Fprintf(&b, "%-3d %-12s %-14s %-14s %12d %12d\n",
+			s.Index, s.Name, s.In, s.Out, s.FLOPs, s.OutBytes)
+	}
+	return b.String()
+}

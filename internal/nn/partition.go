@@ -1,0 +1,85 @@
+package nn
+
+import "time"
+
+// Placement says where the layers of a network run.
+type Placement struct {
+	// SplitAfter is the index of the last layer executed on the edge; -1
+	// means everything runs in the cloud, len(layers)-1 means everything on
+	// the edge.
+	SplitAfter int
+	// EdgeTime and CloudTime are the modelled compute times per frame.
+	EdgeTime, CloudTime time.Duration
+	// TransferBytes is what crosses the edge→cloud link per frame.
+	TransferBytes int64
+	// TransferTime is the modelled link time per frame.
+	TransferTime time.Duration
+	// Latency is the modelled end-to-end time per frame.
+	Latency time.Duration
+}
+
+// Env models the two compute tiers and the link between them —
+// the inputs of the Neurosurgeon-style partitioning decision the paper's
+// NN Deployment service makes.
+type Env struct {
+	// EdgeFLOPS and CloudFLOPS are sustained floating-point rates.
+	EdgeFLOPS, CloudFLOPS float64
+	// BandwidthBps is the edge→cloud link rate in bits per second.
+	BandwidthBps float64
+	// InputBytes is the wire size of the NN input if the cut is before
+	// layer 0 (the cloud-only case ships the input frame).
+	InputBytes int64
+}
+
+// Partition evaluates every cut point and returns the latency-minimising
+// placement. Cut k means layers [0..k] run on the edge, layers (k..n) in the
+// cloud, with the k-th layer's output shipped over the link. k = -1 ships
+// the raw input to the cloud.
+func Partition(n *Network, env Env) Placement {
+	stats := n.Stats()
+	best := evalCut(stats, -1, env)
+	for k := range stats {
+		if p := evalCut(stats, k, env); p.Latency < best.Latency {
+			best = p
+		}
+	}
+	return best
+}
+
+// EvalCut exposes the latency model for a specific cut (for tables/benches).
+func EvalCut(n *Network, cut int, env Env) Placement {
+	return evalCut(n.Stats(), cut, env)
+}
+
+func evalCut(stats []LayerStats, cut int, env Env) Placement {
+	var edgeFLOPs, cloudFLOPs int64
+	for i, s := range stats {
+		if i <= cut {
+			edgeFLOPs += s.FLOPs
+		} else {
+			cloudFLOPs += s.FLOPs
+		}
+	}
+	transfer := env.InputBytes
+	if cut >= 0 {
+		transfer = stats[cut].OutBytes
+	}
+	p := Placement{
+		SplitAfter:    cut,
+		EdgeTime:      flopsTime(edgeFLOPs, env.EdgeFLOPS),
+		CloudTime:     flopsTime(cloudFLOPs, env.CloudFLOPS),
+		TransferBytes: transfer,
+	}
+	if env.BandwidthBps > 0 {
+		p.TransferTime = time.Duration(float64(transfer*8) / env.BandwidthBps * float64(time.Second))
+	}
+	p.Latency = p.EdgeTime + p.TransferTime + p.CloudTime
+	return p
+}
+
+func flopsTime(flops int64, rate float64) time.Duration {
+	if rate <= 0 || flops == 0 {
+		return 0
+	}
+	return time.Duration(float64(flops) / rate * float64(time.Second))
+}

@@ -1,0 +1,75 @@
+// Package nn is a from-scratch neural-network inference engine standing in
+// for the paper's YOLOv3 reference detector: CHW tensors, convolutional /
+// pooling / dense layers with explicit FLOP and output-size accounting, the
+// "YOLite" grid detector trained in-repo on synthetic sprites, and a
+// Neurosurgeon-style layer partitioner for splitting inference between edge
+// and cloud (the paper's NN Deployment service).
+package nn
+
+import (
+	"fmt"
+
+	"sieve/internal/frame"
+)
+
+// Tensor is a dense float32 tensor in channel-major (C, H, W) layout.
+// A flat vector is represented as (C, 1, 1).
+type Tensor struct {
+	Data    []float32
+	C, H, W int
+}
+
+// NewTensor allocates a zeroed C×H×W tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{Data: make([]float32, c*h*w), C: c, H: h, W: w}
+}
+
+// At returns the element at (c, y, x).
+func (t *Tensor) At(c, y, x int) float32 {
+	return t.Data[(c*t.H+y)*t.W+x]
+}
+
+// Set writes the element at (c, y, x).
+func (t *Tensor) Set(c, y, x int, v float32) {
+	t.Data[(c*t.H+y)*t.W+x] = v
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return t.C * t.H * t.W }
+
+// Bytes returns the tensor's wire size (float32 payload).
+func (t *Tensor) Bytes() int64 { return int64(t.Len()) * 4 }
+
+// Shape describes tensor dimensions without storage.
+type Shape struct{ C, H, W int }
+
+// Elems returns the element count of the shape.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// Bytes returns the shape's wire size at float32 precision.
+func (s Shape) Bytes() int64 { return int64(s.Elems()) * 4 }
+
+// String renders the shape as CxHxW.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// FromYUV converts a frame to a 3×size×size input tensor (Y, Cb, Cr
+// channels, chroma upsampled by the resize, values scaled to [0,1]).
+// This mirrors the paper's resize of frames to the square NN input.
+func FromYUV(f *frame.YUV, size int) *Tensor {
+	r := frame.ResizeYUV(f, size, size)
+	t := NewTensor(3, size, size)
+	// Luma at full input resolution.
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t.Set(0, y, x, float32(r.Y.At(x, y))/255)
+		}
+	}
+	// Chroma planes are half resolution; nearest-neighbour upsample.
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t.Set(1, y, x, float32(r.Cb.At(x/2, y/2))/255)
+			t.Set(2, y, x, float32(r.Cr.At(x/2, y/2))/255)
+		}
+	}
+	return t
+}

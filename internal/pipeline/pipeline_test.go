@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"testing"
+
+	"sieve/internal/codec"
+	"sieve/internal/nn"
+	"sieve/internal/store"
+	"sieve/internal/synth"
+)
+
+// testAsset prepares a small Jackson asset once for the package's tests.
+var testAssetCache *VideoAsset
+
+func testAsset(t *testing.T) *VideoAsset {
+	t.Helper()
+	if testAssetCache != nil {
+		return testAssetCache
+	}
+	a, err := PrepareAsset(synth.JacksonSquare, AssetOpts{Seconds: 40, FPS: 5, TrainSeconds: 60})
+	if err != nil {
+		t.Fatalf("PrepareAsset: %v", err)
+	}
+	testAssetCache = a
+	return a
+}
+
+func TestPrepareAssetBasics(t *testing.T) {
+	a := testAsset(t)
+	if a.NumFrames != 200 {
+		t.Fatalf("frames = %d", a.NumFrames)
+	}
+	if len(a.IFrames) == 0 {
+		t.Fatal("no I-frames in semantic stream")
+	}
+	// Paper: I-frames are a small fraction of the stream.
+	if share := float64(len(a.IFrames)) / float64(a.NumFrames); share > 0.2 {
+		t.Fatalf("I-frame share %.3f too high", share)
+	}
+	// Every I-frame must have a priced resized payload.
+	for _, idx := range a.IFrames {
+		if a.ResizedIBytes[idx] <= 0 {
+			t.Fatalf("I-frame %d has no resized byte price", idx)
+		}
+	}
+	// The baselines sample about as many frames as the I-frame count
+	// (the paper's fair-comparison rule).
+	if len(a.UniformSamples) == 0 || len(a.MSESamples) == 0 {
+		t.Fatal("baseline samples missing")
+	}
+	ratio := float64(len(a.UniformSamples)) / float64(len(a.IFrames))
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("uniform samples %d vs %d I-frames", len(a.UniformSamples), len(a.IFrames))
+	}
+}
+
+func TestSemanticStreamLargerThanDefault(t *testing.T) {
+	// Figure 5's camera→edge observation: semantic encoding adds I-frames,
+	// so the stream is somewhat larger than the default encoding.
+	a := testAsset(t)
+	sem := a.Semantic.PayloadBytes(nil)
+	def := a.Default.PayloadBytes(nil)
+	if sem <= def {
+		t.Skipf("semantic %d <= default %d (tuned config may have fewer I-frames at this scale)", sem, def)
+	}
+	if float64(sem) > 2*float64(def) {
+		t.Fatalf("semantic stream %dB unreasonably larger than default %dB", sem, def)
+	}
+}
+
+func TestMeasureCosts(t *testing.T) {
+	a := testAsset(t)
+	det := nn.NewYOLite([]string{"car"}, 64) // small input keeps the test fast
+	mc, err := MeasureCosts(a, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Seek <= 0 || mc.DecodeI <= 0 || mc.DecodeP <= 0 || mc.MSE <= 0 ||
+		mc.ResizeEncode <= 0 || mc.NN <= 0 {
+		t.Fatalf("non-positive cost: %+v", mc)
+	}
+	// The core SiEVE claim: seeking is orders of magnitude cheaper than
+	// decoding a frame.
+	if mc.Seek*50 > mc.DecodeP {
+		t.Fatalf("seek %v not well below decode %v", mc.Seek, mc.DecodeP)
+	}
+}
+
+func TestEvaluateAllMethods(t *testing.T) {
+	a := testAsset(t)
+	det := nn.NewYOLite([]string{"car"}, 64)
+	mc, err := MeasureCosts(a, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]MicroCosts{a.Name: mc}
+	cluster := DefaultCluster()
+
+	reports := make(map[Method]Report, 5)
+	for _, m := range AllMethods() {
+		rep, err := Evaluate(m, []*VideoAsset{a}, costs, cluster)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if rep.Frames != a.NumFrames {
+			t.Fatalf("%s frames %d", m, rep.Frames)
+		}
+		if rep.Throughput <= 0 {
+			t.Fatalf("%s throughput %v", m, rep.Throughput)
+		}
+		reports[m] = rep
+	}
+
+	// Figure 4's headline orderings:
+	// (1) semantic-encoding methods beat decode-everything baselines;
+	if reports[IFrameEdgeCloudNN].Throughput <= reports[UniformEdgeCloudNN].Throughput {
+		t.Errorf("I-frame edge+cloud (%.0f fps) should beat uniform sampling (%.0f fps)",
+			reports[IFrameEdgeCloudNN].Throughput, reports[UniformEdgeCloudNN].Throughput)
+	}
+	// Both decode every frame; MSE adds similarity work on top, so uniform
+	// is at least as fast (ties happen when decode dominates).
+	if reports[UniformEdgeCloudNN].Throughput < reports[MSEEdgeCloudNN].Throughput*0.99 {
+		t.Errorf("uniform (%.0f fps) should be at least as fast as MSE (%.0f fps)",
+			reports[UniformEdgeCloudNN].Throughput, reports[MSEEdgeCloudNN].Throughput)
+	}
+	// (2) the 3-tier split beats shipping everything to the cloud.
+	if reports[IFrameEdgeCloudNN].Throughput <= reports[IFrameCloudCloudNN].Throughput {
+		t.Errorf("3-tier (%.0f fps) should beat cloud-only (%.0f fps)",
+			reports[IFrameEdgeCloudNN].Throughput, reports[IFrameCloudCloudNN].Throughput)
+	}
+
+	// Figure 5's byte orderings: I-frame edge→cloud traffic is a small
+	// fraction of shipping the whole stream.
+	if reports[IFrameEdgeCloudNN].EdgeCloudBytes*2 >= reports[IFrameCloudCloudNN].EdgeCloudBytes {
+		t.Errorf("I-frame edge+cloud ships %dB, cloud-only %dB — want a large reduction",
+			reports[IFrameEdgeCloudNN].EdgeCloudBytes, reports[IFrameCloudCloudNN].EdgeCloudBytes)
+	}
+	// Edge-NN ships almost nothing.
+	if reports[IFrameEdgeEdgeNN].EdgeCloudBytes >= reports[IFrameEdgeCloudNN].EdgeCloudBytes {
+		t.Errorf("edge-NN ships %dB, should be below I-frame shipping %dB",
+			reports[IFrameEdgeEdgeNN].EdgeCloudBytes, reports[IFrameEdgeCloudNN].EdgeCloudBytes)
+	}
+}
+
+func TestEvaluateUnknownMethod(t *testing.T) {
+	a := testAsset(t)
+	_, err := Evaluate(Method("nope"), []*VideoAsset{a},
+		map[string]MicroCosts{a.Name: {}}, DefaultCluster())
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	_, err = Evaluate(IFrameEdgeCloudNN, []*VideoAsset{a}, nil, DefaultCluster())
+	if err == nil {
+		t.Fatal("missing costs accepted")
+	}
+}
+
+func TestRunSemanticProducesLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detector training is slow")
+	}
+	a := testAsset(t)
+
+	// Train a detector on an independent schedule of the same camera.
+	train, err := synth.Preset(synth.JacksonSquare, synth.PresetOpts{Seconds: 60, FPS: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lab []nn.LabeledFrame
+	for i := 0; i < train.NumFrames(); i += 5 {
+		lf := nn.LabeledFrame{Frame: train.Frame(i)}
+		for _, b := range train.Boxes(i) {
+			lf.Boxes = append(lf.Boxes, nn.ObjectBox{Class: string(b.Class), X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		lab = append(lab, lf)
+	}
+	det := nn.NewYOLite([]string{"car", "bus", "truck"}, 160)
+	if _, err := det.Train(lab, nn.TrainConfig{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	db := store.NewResultsDB()
+	analysed, err := RunSemantic(a, det, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysed != len(a.IFrames) {
+		t.Fatalf("analysed %d, want %d", analysed, len(a.IFrames))
+	}
+	track := PropagatedTrack(a, db)
+	if len(track) != a.NumFrames {
+		t.Fatalf("track length %d", len(track))
+	}
+	// The propagated track must carry object labels for a meaningful part
+	// of the stream (the test clip has cars crossing).
+	nonEmpty := 0
+	for _, ls := range track {
+		if !ls.Empty() {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no labels propagated at all")
+	}
+}
+
+func TestRunSemanticValidation(t *testing.T) {
+	a := testAsset(t)
+	if _, err := RunSemantic(a, nil, store.NewResultsDB()); err == nil {
+		t.Fatal("nil detector accepted")
+	}
+	if _, err := RunSemantic(a, nn.NewYOLite([]string{"car"}, 64), nil); err == nil {
+		t.Fatal("nil db accepted")
+	}
+}
+
+func TestIFrameTypesConsistent(t *testing.T) {
+	a := testAsset(t)
+	for _, idx := range a.IFrames {
+		if a.Semantic.Meta(idx).Type != codec.FrameI {
+			t.Fatalf("frame %d listed as I but typed %v", idx, a.Semantic.Meta(idx).Type)
+		}
+	}
+}

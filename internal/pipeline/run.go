@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"sieve/internal/codec"
+	"sieve/internal/labels"
+	"sieve/internal/nn"
+	"sieve/internal/store"
+)
+
+// RunSemantic executes the real (non-modelled) SiEVE pipeline on an asset:
+// seek I-frames in the semantic stream, decode each like a still image, run
+// the reference detector, and store (frameID, labels) tuples in the results
+// database. P-frames inherit the previous I-frame's labels via the
+// database's propagation rule. Returns the number of frames analysed.
+func RunSemantic(a *VideoAsset, det *nn.YOLite, db *store.ResultsDB) (int, error) {
+	if det == nil {
+		return 0, fmt.Errorf("pipeline: nil detector")
+	}
+	if db == nil {
+		return 0, fmt.Errorf("pipeline: nil results database")
+	}
+	params := a.Semantic.Info().CodecParams()
+	analysed := 0
+	for _, idx := range a.IFrames {
+		payload, err := a.Semantic.Payload(idx)
+		if err != nil {
+			return analysed, err
+		}
+		img, err := codec.DecodeIFrame(params, payload)
+		if err != nil {
+			return analysed, fmt.Errorf("pipeline: %s I-frame %d: %w", a.Name, idx, err)
+		}
+		db.Put(a.Name, idx, det.FrameLabels(img))
+		analysed++
+	}
+	return analysed, nil
+}
+
+// PropagatedTrack returns the per-frame labels the system would report for
+// the asset after RunSemantic.
+func PropagatedTrack(a *VideoAsset, db *store.ResultsDB) labels.Track {
+	return db.Track(a.Name, a.NumFrames)
+}

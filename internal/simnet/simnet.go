@@ -1,0 +1,135 @@
+// Package simnet models the network fabric of the paper's 3-tier testbed:
+// point-to-point links with configurable bandwidth and latency (the
+// evaluation pins edge→cloud at 30 Mbps) and byte-level transfer metering
+// (the data behind Figure 5).
+//
+// Links operate in one of two modes: Virtual (default) accounts transfer
+// time on a virtual clock without sleeping — the mode the benchmarks use —
+// while Paced actually throttles, for live demos of the dataflow engine.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode selects whether a link sleeps for transfer time or only accounts it.
+type Mode int
+
+const (
+	// Virtual accounts transfer durations without wall-clock delay.
+	Virtual Mode = iota
+	// Paced sleeps for the (scaled) transfer duration.
+	Paced
+)
+
+// Link is a unidirectional channel with bandwidth, propagation latency and
+// transfer accounting. The zero value is unusable; use NewLink.
+type Link struct {
+	name         string
+	bandwidthBps float64
+	latency      time.Duration
+	mode         Mode
+	// paceScale divides real sleeps in Paced mode (e.g. 100 = demo runs
+	// 100x faster than real time).
+	paceScale float64
+
+	mu        sync.Mutex
+	bytes     int64
+	transfers int64
+	busy      time.Duration
+}
+
+// NewLink builds a link. bandwidthBps is in bits per second and must be
+// positive.
+func NewLink(name string, bandwidthBps float64, latency time.Duration) (*Link, error) {
+	if bandwidthBps <= 0 {
+		return nil, fmt.Errorf("simnet: link %s: bandwidth %f must be positive", name, bandwidthBps)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("simnet: link %s: negative latency", name)
+	}
+	return &Link{
+		name:         name,
+		bandwidthBps: bandwidthBps,
+		latency:      latency,
+		paceScale:    1,
+	}, nil
+}
+
+// SetMode switches between Virtual and Paced operation; scale divides real
+// sleeps in Paced mode (scale <= 0 means 1).
+func (l *Link) SetMode(m Mode, scale float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mode = m
+	if scale <= 0 {
+		scale = 1
+	}
+	l.paceScale = scale
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the configured rate in bits per second.
+func (l *Link) Bandwidth() float64 { return l.bandwidthBps }
+
+// TransferTime returns the modelled duration for n bytes (serialisation +
+// propagation).
+func (l *Link) TransferTime(n int64) time.Duration {
+	ser := time.Duration(float64(n*8) / l.bandwidthBps * float64(time.Second))
+	return ser + l.latency
+}
+
+// Send accounts (and in Paced mode, waits for) the transfer of n bytes,
+// returning the modelled duration.
+func (l *Link) Send(n int64) time.Duration {
+	d := l.TransferTime(n)
+	l.mu.Lock()
+	l.bytes += n
+	l.transfers++
+	l.busy += d
+	mode, scale := l.mode, l.paceScale
+	l.mu.Unlock()
+	if mode == Paced {
+		time.Sleep(time.Duration(float64(d) / scale))
+	}
+	return d
+}
+
+// Stats reports the accumulated transfer accounting.
+func (l *Link) Stats() (bytes, transfers int64, busy time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes, l.transfers, l.busy
+}
+
+// Reset clears the accounting counters.
+func (l *Link) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytes, l.transfers, l.busy = 0, 0, 0
+}
+
+// Topology is the paper's 3-tier fabric: camera→edge (LAN) and edge→cloud
+// (WAN) links per camera site.
+type Topology struct {
+	CameraToEdge *Link
+	EdgeToCloud  *Link
+}
+
+// NewPaperTopology builds the evaluation's network: a fast camera→edge LAN
+// and the 30 Mbps edge→cloud WAN used throughout Section V.
+func NewPaperTopology() *Topology {
+	c2e, err := NewLink("camera-edge", 1e9, time.Millisecond)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	e2c, err := NewLink("edge-cloud", 30e6, 20*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	return &Topology{CameraToEdge: c2e, EdgeToCloud: e2c}
+}

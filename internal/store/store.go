@@ -1,0 +1,267 @@
+// Package store implements the storage boxes of the paper's Figure 1: the
+// edge store that retains semantically encoded video for post-event
+// analysis (seekable by event/GOP), and the cloud results database mapping
+// frame IDs to detected object labels.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"sieve/internal/codec"
+	"sieve/internal/container"
+	"sieve/internal/labels"
+)
+
+// ResultsDB is the cloud-side store of inference results: "a list of tuples
+// where each tuple consists of frame ID and the object names that appear in
+// the frame". It is safe for concurrent use.
+type ResultsDB struct {
+	mu sync.RWMutex
+	// byCamera[camera][frame] = labels
+	byCamera map[string]map[int]labels.Set
+}
+
+// NewResultsDB returns an empty database.
+func NewResultsDB() *ResultsDB {
+	return &ResultsDB{byCamera: make(map[string]map[int]labels.Set)}
+}
+
+// Put records the labels detected on one (camera, frame).
+func (db *ResultsDB) Put(camera string, frameID int, ls labels.Set) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.byCamera[camera]
+	if !ok {
+		m = make(map[int]labels.Set)
+		db.byCamera[camera] = m
+	}
+	m[frameID] = ls
+}
+
+// Get returns the labels stored for an exact frame.
+func (db *ResultsDB) Get(camera string, frameID int) (labels.Set, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ls, ok := db.byCamera[camera][frameID]
+	return ls, ok
+}
+
+// LabelsAt returns the effective labels of any frame under SiEVE's
+// propagation rule: the labels of the nearest analysed frame at or before
+// frameID (empty if none).
+func (db *ResultsDB) LabelsAt(camera string, frameID int) labels.Set {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.byCamera[camera]
+	best := -1
+	var out labels.Set
+	for id, ls := range m {
+		if id <= frameID && id > best {
+			best = id
+			out = ls
+		}
+	}
+	return out
+}
+
+// AnalysedFrames returns the sorted frame IDs with stored results.
+func (db *ResultsDB) AnalysedFrames(camera string) []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.byCamera[camera]
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Track materialises the propagated per-frame label track for frames
+// [0, numFrames) — what a downstream application (or the accuracy metric)
+// consumes.
+func (db *ResultsDB) Track(camera string, numFrames int) labels.Track {
+	ids := db.AnalysedFrames(camera)
+	tr := make(labels.Track, numFrames)
+	var cur labels.Set
+	k := 0
+	for i := 0; i < numFrames; i++ {
+		for k < len(ids) && ids[k] <= i {
+			if ls, ok := db.Get(camera, ids[k]); ok {
+				cur = ls
+			}
+			k++
+		}
+		tr[i] = cur
+	}
+	return tr
+}
+
+// Query returns the frames in [from, to) whose effective labels contain
+// class — the "find every car" query the paper's storage layer serves.
+func (db *ResultsDB) Query(camera, class string, from, to int) []int {
+	tr := db.Track(camera, to)
+	var out []int
+	for i := from; i < to && i < len(tr); i++ {
+		if tr[i].Contains(class) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// persisted is the JSON schema of a saved database.
+type persisted struct {
+	Cameras map[string]map[string][]string `json:"cameras"`
+}
+
+// Save writes the database as JSON.
+func (db *ResultsDB) Save(path string) error {
+	db.mu.RLock()
+	p := persisted{Cameras: make(map[string]map[string][]string, len(db.byCamera))}
+	for cam, m := range db.byCamera {
+		fm := make(map[string][]string, len(m))
+		for id, ls := range m {
+			fm[fmt.Sprint(id)] = []string(ls)
+		}
+		p.Cameras[cam] = fm
+	}
+	db.mu.RUnlock()
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal results: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadResultsDB reads a database written by Save.
+func LoadResultsDB(path string) (*ResultsDB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("store: parse results: %w", err)
+	}
+	db := NewResultsDB()
+	for cam, fm := range p.Cameras {
+		for idStr, names := range fm {
+			var id int
+			if _, err := fmt.Sscanf(idStr, "%d", &id); err != nil {
+				return nil, fmt.Errorf("store: bad frame id %q: %w", idStr, err)
+			}
+			db.Put(cam, id, labels.NewSet(names...))
+		}
+	}
+	return db, nil
+}
+
+// EdgeStore retains semantically encoded streams per camera, in memory,
+// with byte accounting against a configurable quota. The paper notes SiEVE
+// "assumes the edge location has access to non-trivial storage capacity";
+// the quota makes that assumption explicit and testable.
+type EdgeStore struct {
+	mu     sync.RWMutex
+	quota  int64
+	used   int64
+	videos map[string]*container.Buffer
+}
+
+// NewEdgeStore creates a store with the given byte quota (0 = unlimited).
+func NewEdgeStore(quota int64) *EdgeStore {
+	return &EdgeStore{quota: quota, videos: make(map[string]*container.Buffer)}
+}
+
+// ErrQuotaExceeded is returned when a stream does not fit.
+var ErrQuotaExceeded = fmt.Errorf("store: edge quota exceeded")
+
+// Put stores an encoded stream under a camera key.
+func (s *EdgeStore) Put(camera string, buf *container.Buffer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	newSize := buf.Size()
+	var oldSize int64
+	if old, ok := s.videos[camera]; ok {
+		oldSize = old.Size()
+	}
+	if s.quota > 0 && s.used-oldSize+newSize > s.quota {
+		return fmt.Errorf("%w: need %d bytes, %d free",
+			ErrQuotaExceeded, newSize, s.quota-(s.used-oldSize))
+	}
+	s.used += newSize - oldSize
+	s.videos[camera] = buf
+	return nil
+}
+
+// Open returns a container reader over the stored stream.
+func (s *EdgeStore) Open(camera string) (*container.Reader, error) {
+	s.mu.RLock()
+	buf, ok := s.videos[camera]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: no video for camera %q", camera)
+	}
+	return container.NewReader(buf, buf.Size())
+}
+
+// Delete removes a camera's stream, reclaiming quota.
+func (s *EdgeStore) Delete(camera string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if buf, ok := s.videos[camera]; ok {
+		s.used -= buf.Size()
+		delete(s.videos, camera)
+	}
+}
+
+// Used reports the bytes currently stored.
+func (s *EdgeStore) Used() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// Cameras lists stored camera keys (sorted).
+func (s *EdgeStore) Cameras() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.videos))
+	for cam := range s.videos {
+		out = append(out, cam)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeekEvent locates the GOP containing frame target in a stored stream: it
+// returns the index of the latest I-frame at or before target, which is
+// where further analysis (tracking, re-identification) starts decoding.
+// This is the paper's "quickly seek the exact event/GOP" use case.
+func (s *EdgeStore) SeekEvent(camera string, target int) (container.FrameMeta, error) {
+	r, err := s.Open(camera)
+	if err != nil {
+		return container.FrameMeta{}, err
+	}
+	if target < 0 || target >= r.NumFrames() {
+		return container.FrameMeta{}, fmt.Errorf("store: frame %d out of range [0,%d)", target, r.NumFrames())
+	}
+	best := container.FrameMeta{Index: -1}
+	r.ScanMeta(func(m container.FrameMeta) bool {
+		if m.Index > target {
+			return false
+		}
+		if m.Type == codec.FrameI {
+			best = m
+		}
+		return true
+	})
+	if best.Index < 0 {
+		return container.FrameMeta{}, fmt.Errorf("store: no I-frame at or before %d", target)
+	}
+	return best, nil
+}

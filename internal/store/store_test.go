@@ -1,0 +1,193 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"sieve/internal/codec"
+	"sieve/internal/container"
+	"sieve/internal/labels"
+)
+
+func TestResultsDBPutGet(t *testing.T) {
+	db := NewResultsDB()
+	db.Put("cam", 10, labels.NewSet("car"))
+	db.Put("cam", 20, labels.NewSet("bus", "car"))
+
+	ls, ok := db.Get("cam", 10)
+	if !ok || !ls.Equal(labels.NewSet("car")) {
+		t.Fatalf("Get = %v, %v", ls, ok)
+	}
+	if _, ok := db.Get("cam", 11); ok {
+		t.Fatal("frame 11 should not exist")
+	}
+	if _, ok := db.Get("other", 10); ok {
+		t.Fatal("unknown camera should not exist")
+	}
+}
+
+func TestResultsDBPropagation(t *testing.T) {
+	db := NewResultsDB()
+	db.Put("cam", 5, labels.NewSet("car"))
+	db.Put("cam", 15, labels.NewSet())
+
+	if !db.LabelsAt("cam", 4).Empty() {
+		t.Fatal("frame before first result should be empty")
+	}
+	if !db.LabelsAt("cam", 9).Equal(labels.NewSet("car")) {
+		t.Fatal("frame 9 should inherit car")
+	}
+	if !db.LabelsAt("cam", 20).Empty() {
+		t.Fatal("frame 20 should inherit the empty result at 15")
+	}
+
+	tr := db.Track("cam", 20)
+	if len(tr) != 20 {
+		t.Fatalf("track length %d", len(tr))
+	}
+	if !tr[0].Empty() || !tr[7].Contains("car") || !tr[16].Empty() {
+		t.Fatalf("track propagation wrong: %v %v %v", tr[0], tr[7], tr[16])
+	}
+}
+
+func TestResultsDBQuery(t *testing.T) {
+	db := NewResultsDB()
+	db.Put("cam", 0, labels.NewSet())
+	db.Put("cam", 10, labels.NewSet("car"))
+	db.Put("cam", 13, labels.NewSet())
+	got := db.Query("cam", "car", 0, 20)
+	if len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Fatalf("Query = %v, want [10 11 12]", got)
+	}
+}
+
+func TestResultsDBSaveLoad(t *testing.T) {
+	db := NewResultsDB()
+	db.Put("a", 1, labels.NewSet("car"))
+	db.Put("b", 2, labels.NewSet("boat", "person"))
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadResultsDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, ok := loaded.Get("b", 2)
+	if !ok || !ls.Equal(labels.NewSet("person", "boat")) {
+		t.Fatalf("loaded = %v, %v", ls, ok)
+	}
+	if _, err := LoadResultsDB(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// writeStream builds a small container stream with I-frames every gop.
+func writeStream(t *testing.T, n, gop int) *container.Buffer {
+	t.Helper()
+	buf := &container.Buffer{}
+	w, err := container.NewWriter(buf, container.StreamInfo{Width: 16, Height: 16, FPS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		ft := codec.FrameP
+		if i%gop == 0 {
+			ft = codec.FrameI
+		}
+		if err := w.WriteFrame(ft, []byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestEdgeStorePutOpenDelete(t *testing.T) {
+	s := NewEdgeStore(0)
+	buf := writeStream(t, 30, 10)
+	if err := s.Put("cam1", buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Open("cam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumFrames() != 30 {
+		t.Fatalf("frames %d", r.NumFrames())
+	}
+	if got := s.Used(); got != buf.Size() {
+		t.Fatalf("used %d, want %d", got, buf.Size())
+	}
+	if cams := s.Cameras(); len(cams) != 1 || cams[0] != "cam1" {
+		t.Fatalf("cameras %v", cams)
+	}
+	s.Delete("cam1")
+	if s.Used() != 0 {
+		t.Fatal("delete did not reclaim quota")
+	}
+	if _, err := s.Open("cam1"); err == nil {
+		t.Fatal("open after delete should fail")
+	}
+}
+
+func TestEdgeStoreQuota(t *testing.T) {
+	buf := writeStream(t, 30, 10)
+	s := NewEdgeStore(buf.Size() + 10)
+	if err := s.Put("cam1", buf); err != nil {
+		t.Fatal(err)
+	}
+	other := writeStream(t, 30, 10)
+	if err := s.Put("cam2", other); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("quota error = %v", err)
+	}
+	// Replacing the existing stream stays within quota.
+	if err := s.Put("cam1", writeStream(t, 30, 10)); err != nil {
+		t.Fatalf("replace failed: %v", err)
+	}
+}
+
+func TestSeekEvent(t *testing.T) {
+	s := NewEdgeStore(0)
+	if err := s.Put("cam", writeStream(t, 50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.SeekEvent("cam", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Index != 20 {
+		t.Fatalf("SeekEvent(25) = frame %d, want 20", m.Index)
+	}
+	m, err = s.SeekEvent("cam", 20)
+	if err != nil || m.Index != 20 {
+		t.Fatalf("SeekEvent(20) = %d, %v", m.Index, err)
+	}
+	if _, err := s.SeekEvent("cam", 99); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := s.SeekEvent("ghost", 5); err == nil {
+		t.Fatal("unknown camera accepted")
+	}
+}
+
+func TestResultsDBConcurrentAccess(t *testing.T) {
+	db := NewResultsDB()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			db.Put("cam", i, labels.NewSet("car"))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		db.LabelsAt("cam", i)
+	}
+	<-done
+	if got := len(db.AnalysedFrames("cam")); got != 500 {
+		t.Fatalf("stored %d frames", got)
+	}
+}

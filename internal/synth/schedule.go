@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"math"
+
+	"sieve/internal/frame"
+)
+
+// ScheduleParams controls procedural object-schedule generation: how often
+// objects appear, how big they are, and how fast they cross the scene.
+type ScheduleParams struct {
+	// Classes to draw from (uniformly). Must be non-empty.
+	Classes []Class
+	// Scale is the mean object height as a fraction of frame height;
+	// ScaleJitter the +/- uniform variation around it.
+	Scale, ScaleJitter float64
+	// Speed is the mean crossing speed in pixels/frame; SpeedJitter the
+	// +/- variation. Direction alternates pseudo-randomly.
+	Speed, SpeedJitter float64
+	// MeanGap is the average idle time (frames) between one object leaving
+	// and the next entering; MinGap a hard lower bound.
+	MeanGap, MinGap int
+	// Lanes lists the possible path centres (fractions of height).
+	Lanes []float64
+	// MaxObjects caps the schedule length (0 = unlimited).
+	MaxObjects int
+	// Seed makes the schedule deterministic.
+	Seed uint64
+}
+
+// classScaleFactor adjusts the schedule's base scale per class: buses are
+// taller than cars, persons shorter — the size structure the detection head
+// relies on to separate classes of similar colour.
+var classScaleFactor = map[Class]float64{
+	Car:    1.0,
+	Bus:    1.35,
+	Truck:  1.2,
+	Person: 0.62,
+	Boat:   1.0,
+}
+
+// classPalettes gives each class a set of plausible body colours.
+var classPalettes = map[Class][]frame.RGB{
+	Car:    {{R: 200, G: 40, B: 40}, {R: 40, G: 60, B: 200}, {R: 225, G: 225, B: 225}, {R: 25, G: 25, B: 30}},
+	Bus:    {{R: 235, G: 140, B: 30}, {R: 40, G: 180, B: 200}},
+	Truck:  {{R: 150, G: 150, B: 160}, {R: 70, G: 95, B: 60}},
+	Person: {{R: 60, G: 170, B: 70}, {R: 230, G: 210, B: 60}, {R: 200, G: 60, B: 180}},
+	Boat:   {{R: 240, G: 240, B: 240}, {R: 50, G: 80, B: 160}},
+}
+
+// GenerateObjects builds a deterministic object schedule for a w×h scene of
+// numFrames frames: objects cross one at a time separated by roughly
+// exponentially distributed idle gaps, the structure the paper's event
+// definition assumes (scene alternates between "no label" and
+// "object-visible" events).
+func GenerateObjects(w, h, numFrames int, sp ScheduleParams) []Object {
+	if len(sp.Classes) == 0 || numFrames <= 0 {
+		return nil
+	}
+	rng := splitmix(sp.Seed*0x9E3779B97F4A7C15 + 0xBADC0FFEE)
+	lanes := sp.Lanes
+	if len(lanes) == 0 {
+		lanes = []float64{0.65}
+	}
+	if sp.MeanGap < 1 {
+		sp.MeanGap = 1
+	}
+	var out []Object
+	// Start with roughly half a mean gap of quiet video.
+	t := sp.MinGap + expGap(rng, sp.MeanGap/2)
+	for t < numFrames {
+		if sp.MaxObjects > 0 && len(out) >= sp.MaxObjects {
+			break
+		}
+		c := sp.Classes[rng.next()%uint64(len(sp.Classes))]
+		scale := jitter(rng, sp.Scale, sp.ScaleJitter)
+		if f, ok := classScaleFactor[c]; ok {
+			scale *= f
+		}
+		if scale < 0.01 {
+			scale = 0.01
+		}
+		if scale > 0.95 {
+			scale = 0.95
+		}
+		speed := jitter(rng, sp.Speed, sp.SpeedJitter)
+		if speed < 0.25 {
+			speed = 0.25
+		}
+		if rng.next()%2 == 0 {
+			speed = -speed
+		}
+		dwell := CrossingFrames(c, scale, w, h, speed)
+		exit := t + dwell
+		if exit > numFrames {
+			exit = numFrames
+		}
+		if exit <= t {
+			break
+		}
+		palette := classPalettes[c]
+		out = append(out, Object{
+			Class: c,
+			Enter: t,
+			Exit:  exit,
+			Lane:  lanes[rng.next()%uint64(len(lanes))],
+			Speed: speed,
+			Scale: scale,
+			Color: palette[rng.next()%uint64(len(palette))],
+			Seed:  rng.next(),
+		})
+		t = exit + sp.MinGap + expGap(rng, sp.MeanGap)
+	}
+	return out
+}
+
+// expGap draws an exponential-ish gap with the given mean.
+func expGap(rng *splitmixState, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	u := float64(rng.next()%1000000)/1000000.0 + 1e-9
+	g := -math.Log(u) * float64(mean)
+	if g > 6*float64(mean) {
+		g = 6 * float64(mean)
+	}
+	return int(g)
+}
+
+// jitter returns base +/- a uniform draw in [-j, j].
+func jitter(rng *splitmixState, base, j float64) float64 {
+	if j == 0 {
+		return base
+	}
+	u := float64(rng.next()%1000000)/500000.0 - 1 // [-1, 1)
+	return base + u*j
+}

@@ -1,0 +1,478 @@
+// Package synth renders deterministic synthetic surveillance video with
+// exact per-frame ground-truth labels. It stands in for the paper's five
+// camera feeds (Table I), reproducing the properties the SiEVE evaluation
+// depends on: object size relative to the frame, event frequency, background
+// dynamics (sensor noise, lighting flicker, waving-foliage clutter),
+// resolution and frame rate.
+//
+// Rendering is on demand and deterministic: Frame(i) always produces the
+// same pixels for the same Spec, so hours-long streams never need to be
+// materialised in memory.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"sieve/internal/frame"
+	"sieve/internal/labels"
+)
+
+// Class enumerates the object classes of Table I.
+type Class string
+
+// Object classes appearing across the five datasets.
+const (
+	Car    Class = "car"
+	Bus    Class = "bus"
+	Truck  Class = "truck"
+	Person Class = "person"
+	Boat   Class = "boat"
+)
+
+// Object is one scripted object crossing the scene.
+type Object struct {
+	Class Class
+	// Enter is the first frame in which any part of the object is visible;
+	// the object leaves the frame just before Exit.
+	Enter, Exit int
+	// Lane is the vertical centre of the object's path as a fraction of
+	// frame height.
+	Lane float64
+	// Speed is horizontal velocity in pixels/frame; negative moves
+	// right-to-left.
+	Speed float64
+	// Scale is the object height as a fraction of frame height.
+	Scale float64
+	// Color is the object's base body colour.
+	Color frame.RGB
+	// Seed varies per-object texture.
+	Seed uint64
+}
+
+// ClutterPatch is a region of background "foliage" whose texture sways
+// sinusoidally — continuous local motion that raw frame differencing
+// (MSE) cannot distinguish from a real event, but motion-compensated
+// encoders absorb.
+type ClutterPatch struct {
+	// X, Y, W, H are the patch rectangle as fractions of the frame.
+	X, Y, W, H float64
+	// Amp is the sway amplitude in pixels; Period the sway period in frames.
+	Amp    float64
+	Period int
+	// Phase offsets the sway so patches don't move in lockstep.
+	Phase float64
+}
+
+// Spec fully describes a synthetic video.
+type Spec struct {
+	Name          string
+	Width, Height int
+	FPS           int
+	NumFrames     int
+	// NoiseAmp is the peak sensor noise in grey levels (triangular
+	// distribution, zero mean).
+	NoiseAmp int
+	// FlickerAmp/FlickerPeriod add a global sinusoidal luma drift
+	// (aquarium lighting, auto-exposure hunting).
+	FlickerAmp    float64
+	FlickerPeriod int
+	// Clutter lists the swaying background patches.
+	Clutter []ClutterPatch
+	// Objects is the scripted schedule.
+	Objects []Object
+	// Seed drives the static background texture and noise streams.
+	Seed uint64
+}
+
+// Validate checks the spec is renderable.
+func (s *Spec) Validate() error {
+	if s.Width <= 0 || s.Height <= 0 || s.Width%2 != 0 || s.Height%2 != 0 {
+		return fmt.Errorf("synth: dimensions %dx%d must be positive and even", s.Width, s.Height)
+	}
+	if s.FPS <= 0 {
+		return fmt.Errorf("synth: fps %d must be positive", s.FPS)
+	}
+	if s.NumFrames < 0 {
+		return fmt.Errorf("synth: negative frame count %d", s.NumFrames)
+	}
+	for i, o := range s.Objects {
+		if o.Exit <= o.Enter {
+			return fmt.Errorf("synth: object %d has empty visibility [%d,%d)", i, o.Enter, o.Exit)
+		}
+		if o.Scale <= 0 || o.Scale > 1 {
+			return fmt.Errorf("synth: object %d scale %f out of (0,1]", i, o.Scale)
+		}
+	}
+	return nil
+}
+
+// Video renders frames of a Spec on demand.
+type Video struct {
+	spec    Spec
+	bg      *frame.YUV
+	patches []patchTexture
+}
+
+type patchTexture struct {
+	p          ClutterPatch
+	x, y, w, h int // pixel rect
+	tex        *frame.Plane
+}
+
+// New validates the spec and precomputes the static background and clutter
+// textures.
+func New(spec Spec) (*Video, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Video{spec: spec}
+	v.bg = renderBackground(spec)
+	for _, cp := range spec.Clutter {
+		pt := patchTexture{
+			p: cp,
+			x: int(cp.X * float64(spec.Width)),
+			y: int(cp.Y * float64(spec.Height)),
+			w: int(cp.W * float64(spec.Width)),
+			h: int(cp.H * float64(spec.Height)),
+		}
+		if pt.w < 2 || pt.h < 2 {
+			continue
+		}
+		// Texture is wider than the patch so swaying can sample beyond the
+		// visible window without repeating edges.
+		margin := int(cp.Amp) + 4
+		pt.tex = foliageTexture(pt.w+2*margin, pt.h, spec.Seed^uint64(len(v.patches)+1)*0x9E3779B97F4A7C15)
+		v.patches = append(v.patches, pt)
+	}
+	return v, nil
+}
+
+// Spec returns the video's specification.
+func (v *Video) Spec() Spec { return v.spec }
+
+// NumFrames returns the stream length in frames.
+func (v *Video) NumFrames() int { return v.spec.NumFrames }
+
+// Frame renders frame i (deterministically).
+func (v *Video) Frame(i int) *frame.YUV {
+	f := v.bg.Clone()
+	v.renderClutter(f, i)
+	for oi := range v.spec.Objects {
+		o := &v.spec.Objects[oi]
+		if i >= o.Enter && i < o.Exit {
+			renderObject(f, v.spec, o, i)
+		}
+	}
+	v.applyFlicker(f, i)
+	v.applyNoise(f, i)
+	return f
+}
+
+// Labels returns the ground-truth label set of frame i.
+func (v *Video) Labels(i int) labels.Set {
+	var names []string
+	for oi := range v.spec.Objects {
+		o := &v.spec.Objects[oi]
+		if i >= o.Enter && i < o.Exit {
+			names = append(names, string(o.Class))
+		}
+	}
+	return labels.NewSet(names...)
+}
+
+// Track returns the full ground-truth label track.
+func (v *Video) Track() labels.Track {
+	t := make(labels.Track, v.spec.NumFrames)
+	for i := range t {
+		t[i] = v.Labels(i)
+	}
+	return t
+}
+
+// Events returns the ground-truth event segmentation.
+func (v *Video) Events() []labels.Event {
+	return labels.Events(v.Track())
+}
+
+// renderBackground paints a street-like static scene: sky/ground gradient,
+// a road band, lane markings and low-amplitude static texture.
+func renderBackground(spec Spec) *frame.YUV {
+	f := frame.NewYUV(spec.Width, spec.Height)
+	h := spec.Height
+	rng := splitmix(spec.Seed)
+	// Per-column texture offsets give the scene vertical structure.
+	colTex := make([]int, spec.Width)
+	for x := range colTex {
+		colTex[x] = int(rng.next()%7) - 3
+	}
+	for y := 0; y < h; y++ {
+		base := 150 - 60*y/h // brighter sky, darker ground
+		roadTop := h * 55 / 100
+		road := y >= roadTop
+		if road {
+			base = 95
+		}
+		row := f.Y.Row(y)
+		for x := 0; x < spec.Width; x++ {
+			val := base + colTex[x]
+			if road {
+				// Pavement has unique per-pixel texture: a strip of road
+				// revealed by a departing object cannot be predicted from
+				// neighbouring road, so exits register as motion cost just
+				// like entries (real asphalt behaves the same way).
+				hash := uint64(x)*2654435761 ^ uint64(y)*40503 ^ spec.Seed
+				hash = (hash ^ (hash >> 13)) * 0x9E3779B97F4A7C15
+				val += int(hash>>59) - 8 // [-8, +7]
+			} else if (uint64(x)*2654435761^uint64(y)*40503)%97 == 0 {
+				val += 8 // sparse speckle above the road
+			}
+			row[x] = frame.Clamp(val)
+		}
+		// Dashed lane marking.
+		if y == h*3/4 || y == h*3/4+1 {
+			for x := 0; x < spec.Width; x += 24 {
+				for k := 0; k < 10 && x+k < spec.Width; k++ {
+					row[x+k] = 200
+				}
+			}
+		}
+	}
+	f.Cb.Fill(126)
+	f.Cr.Fill(130)
+	return f
+}
+
+// foliageTexture builds a blobby high-frequency texture for clutter patches.
+func foliageTexture(w, h int, seed uint64) *frame.Plane {
+	p := frame.NewPlane(w, h)
+	rng := splitmix(seed)
+	for y := 0; y < h; y++ {
+		row := p.Row(y)
+		for x := 0; x < w; x++ {
+			row[x] = byte(70 + rng.next()%50)
+		}
+	}
+	// Smooth once so the texture has spatial correlation (tree-like blobs).
+	q := frame.NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := int(p.At(x-1, y)) + int(p.At(x+1, y)) + int(p.At(x, y-1)) + int(p.At(x, y+1)) + 2*int(p.At(x, y))
+			q.Set(x, y, byte(s/6))
+		}
+	}
+	return q
+}
+
+func (v *Video) renderClutter(f *frame.YUV, i int) {
+	for _, pt := range v.patches {
+		sway := pt.p.Amp * math.Sin(2*math.Pi*float64(i)/float64(max(pt.p.Period, 1))+pt.p.Phase)
+		off := int(math.Round(sway)) + int(pt.p.Amp) + 4
+		for y := 0; y < pt.h; y++ {
+			for x := 0; x < pt.w; x++ {
+				f.Y.Set(pt.x+x, pt.y+y, pt.tex.At(x+off, y))
+			}
+		}
+		// Greenish tint over the patch.
+		for y := pt.y / 2; y < (pt.y+pt.h)/2; y++ {
+			for x := pt.x / 2; x < (pt.x+pt.w)/2; x++ {
+				f.Cb.Set(x, y, 110)
+				f.Cr.Set(x, y, 115)
+			}
+		}
+	}
+}
+
+func (v *Video) applyFlicker(f *frame.YUV, i int) {
+	if v.spec.FlickerAmp == 0 || v.spec.FlickerPeriod <= 0 {
+		return
+	}
+	d := int(math.Round(v.spec.FlickerAmp * math.Sin(2*math.Pi*float64(i)/float64(v.spec.FlickerPeriod))))
+	if d == 0 {
+		return
+	}
+	for idx, px := range f.Y.Pix {
+		f.Y.Pix[idx] = frame.Clamp(int(px) + d)
+	}
+}
+
+func (v *Video) applyNoise(f *frame.YUV, i int) {
+	if v.spec.NoiseAmp <= 0 {
+		return
+	}
+	rng := splitmix(v.spec.Seed ^ (uint64(i)+1)*0xD1B54A32D192ED03)
+	amp := uint64(v.spec.NoiseAmp)
+	span := 2*amp + 1
+	for idx := range f.Y.Pix {
+		// Triangular noise in [-amp, +amp]: sum of two uniforms.
+		r := rng.next()
+		n := int(r%span) + int((r>>32)%span) - int(2*amp)
+		n /= 2
+		if n != 0 {
+			f.Y.Pix[idx] = frame.Clamp(int(f.Y.Pix[idx]) + n)
+		}
+	}
+}
+
+// Box is an object's axis-aligned pixel bounding box in one frame.
+type Box struct {
+	Class      Class
+	X, Y, W, H int
+}
+
+// objectBox computes the object's frame-i bounding box (may extend past the
+// frame edges while the object is entering or leaving).
+func objectBox(spec Spec, o *Object, i int) Box {
+	objH := int(o.Scale * float64(spec.Height))
+	objW := objectWidth(o.Class, objH)
+	t := i - o.Enter
+	var x float64
+	if o.Speed >= 0 {
+		// Enters from the left; the leading edge is Speed pixels inside the
+		// scene at t=0 so the labelled entry frame really shows the object.
+		x = -float64(objW) + o.Speed*float64(t+1)
+	} else {
+		x = float64(spec.Width) + o.Speed*float64(t+1)
+	}
+	cy := int(o.Lane * float64(spec.Height))
+	return Box{Class: o.Class, X: int(math.Round(x)), Y: cy - objH/2, W: objW, H: objH}
+}
+
+// Boxes returns the bounding boxes of all objects visible in frame i.
+func (v *Video) Boxes(i int) []Box {
+	var out []Box
+	for oi := range v.spec.Objects {
+		o := &v.spec.Objects[oi]
+		if i >= o.Enter && i < o.Exit {
+			out = append(out, objectBox(v.spec, o, i))
+		}
+	}
+	return out
+}
+
+// renderObject draws one object at its frame-i position.
+func renderObject(f *frame.YUV, spec Spec, o *Object, i int) {
+	b := objectBox(spec, o, i)
+	drawClassSprite(f, o, b.X, b.Y, b.W, b.H)
+}
+
+// objectWidth derives sprite width from class aspect ratio.
+func objectWidth(c Class, h int) int {
+	switch c {
+	case Bus:
+		return h * 3
+	case Truck:
+		return h * 5 / 2
+	case Car:
+		return h * 2
+	case Boat:
+		return h * 5 / 2
+	case Person:
+		return h * 2 / 5
+	default:
+		return h
+	}
+}
+
+// CrossingFrames returns how many frames an object of class c at scale
+// needs to fully cross a width-w scene at the given speed.
+func CrossingFrames(c Class, scale float64, w, h int, speed float64) int {
+	objH := int(scale * float64(h))
+	objW := objectWidth(c, objH)
+	if speed < 0 {
+		speed = -speed
+	}
+	if speed == 0 {
+		speed = 1
+	}
+	return int(math.Ceil(float64(w+objW) / speed))
+}
+
+func drawClassSprite(f *frame.YUV, o *Object, x, y, w, h int) {
+	yv, cb, cr := o.Color.ToYUV()
+	rng := splitmix(o.Seed | 1)
+	stripe := int(rng.next()%3) + 3
+	switch o.Class {
+	case Person:
+		// Head + body ellipse.
+		drawEllipse(f, x+w/2, y+h/6, w/3, h/6, yv, cb, cr)
+		drawEllipse(f, x+w/2, y+h*3/5, w/2, h*2/5, yv, cb, cr)
+	case Boat:
+		// Hull trapezoid + cabin.
+		for dy := 0; dy < h/2; dy++ {
+			inset := dy * w / (2 * h)
+			for dx := inset; dx < w-inset; dx++ {
+				setYUV(f, x+dx, y+h/2+dy, yv, cb, cr)
+			}
+		}
+		fillRect(f, x+w/3, y, w/4, h/2, yv/2+60, cb, cr)
+	default: // car, bus, truck: body + window band + wheels
+		fillRect(f, x, y+h/4, w, h*3/4, yv, cb, cr)
+		fillRect(f, x+w/8, y, w*3/4, h/3, yv, cb, cr)
+		// Window band (dark).
+		fillRect(f, x+w/6, y+h/12, w*7/12, h/5, 40, 128, 128)
+		// Texture stripes so feature matchers find keypoints on the body.
+		for sx := x + stripe; sx < x+w; sx += 2 * stripe {
+			for dy := h / 2; dy < h*3/4; dy++ {
+				setYUV(f, sx, y+dy, yv/2+30, cb, cr)
+			}
+		}
+		// Wheels.
+		r := h / 6
+		drawEllipse(f, x+w/5, y+h, r, r, 25, 128, 128)
+		drawEllipse(f, x+w*4/5, y+h, r, r, 25, 128, 128)
+	}
+}
+
+func setYUV(f *frame.YUV, x, y int, yv, cb, cr byte) {
+	f.Y.Set(x, y, yv)
+	f.Cb.Set(x/2, y/2, cb)
+	f.Cr.Set(x/2, y/2, cr)
+}
+
+func fillRect(f *frame.YUV, x, y, w, h int, yv, cb, cr byte) {
+	for dy := 0; dy < h; dy++ {
+		for dx := 0; dx < w; dx++ {
+			setYUV(f, x+dx, y+dy, yv, cb, cr)
+		}
+	}
+}
+
+func drawEllipse(f *frame.YUV, cx, cy, rx, ry int, yv, cb, cr byte) {
+	if rx < 1 {
+		rx = 1
+	}
+	if ry < 1 {
+		ry = 1
+	}
+	for dy := -ry; dy <= ry; dy++ {
+		for dx := -rx; dx <= rx; dx++ {
+			if dx*dx*ry*ry+dy*dy*rx*rx <= rx*rx*ry*ry {
+				setYUV(f, cx+dx, cy+dy, yv, cb, cr)
+			}
+		}
+	}
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64) for render streams.
+type splitmixState uint64
+
+func splitmix(seed uint64) *splitmixState {
+	s := splitmixState(seed)
+	return &s
+}
+
+func (s *splitmixState) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

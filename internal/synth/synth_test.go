@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"testing"
+
+	"sieve/internal/frame"
+	"sieve/internal/labels"
+)
+
+func smallSpec(n int) Spec {
+	return Spec{
+		Name: "test", Width: 96, Height: 64, FPS: 10, NumFrames: n,
+		NoiseAmp: 2,
+		Objects: []Object{
+			{Class: Car, Enter: 10, Exit: 30, Lane: 0.7, Speed: 5, Scale: 0.3,
+				Color: frame.RGB{R: 200, G: 40, B: 40}, Seed: 7},
+		},
+		Seed: 42,
+	}
+}
+
+func TestDeterministicRendering(t *testing.T) {
+	v1, err := New(smallSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(smallSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 10, 15, 39} {
+		if !v1.Frame(i).Equal(v2.Frame(i)) {
+			t.Fatalf("frame %d not deterministic", i)
+		}
+	}
+	// Repeated render of the same frame from the same Video too.
+	if !v1.Frame(5).Equal(v1.Frame(5)) {
+		t.Fatal("re-render differs")
+	}
+}
+
+func TestFramesDifferAcrossTime(t *testing.T) {
+	v, err := New(smallSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Frame(0).Equal(v.Frame(1)) {
+		t.Fatal("noise should make consecutive frames differ")
+	}
+	if v.Frame(5).Equal(v.Frame(15)) {
+		t.Fatal("object presence should change the frame")
+	}
+}
+
+func TestGroundTruthLabels(t *testing.T) {
+	v, err := New(smallSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Labels(5).Empty() {
+		t.Fatal("frame 5 should be empty")
+	}
+	if !v.Labels(10).Equal(labels.NewSet("car")) {
+		t.Fatalf("frame 10 labels = %v", v.Labels(10))
+	}
+	if !v.Labels(29).Equal(labels.NewSet("car")) {
+		t.Fatal("frame 29 should still be car")
+	}
+	if !v.Labels(30).Empty() {
+		t.Fatal("frame 30 should be empty again")
+	}
+}
+
+func TestTrackAndEvents(t *testing.T) {
+	v, err := New(smallSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := v.Track()
+	if len(tr) != 40 {
+		t.Fatalf("track len %d", len(tr))
+	}
+	evs := v.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3 (empty, car, empty)", len(evs))
+	}
+	if evs[1].Start != 10 || evs[1].End != 30 {
+		t.Fatalf("car event [%d,%d), want [10,30)", evs[1].Start, evs[1].End)
+	}
+}
+
+func TestObjectActuallyVisible(t *testing.T) {
+	// The object must change pixels in the frame where GT says it exists.
+	spec := smallSpec(40)
+	spec.NoiseAmp = 0 // isolate the object signal
+	v, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := v.Frame(5)
+	mid := v.Frame(20) // object well inside the scene
+	diff := frame.SSE(quiet.Y, mid.Y)
+	if diff < 10000 {
+		t.Fatalf("object barely visible: SSE=%d", diff)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := smallSpec(10)
+	bad.Width = 97 // odd
+	if _, err := New(bad); err == nil {
+		t.Fatal("odd width accepted")
+	}
+	bad = smallSpec(10)
+	bad.Objects[0].Exit = bad.Objects[0].Enter
+	if _, err := New(bad); err == nil {
+		t.Fatal("empty visibility accepted")
+	}
+	bad = smallSpec(10)
+	bad.Objects[0].Scale = 2
+	if _, err := New(bad); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	bad = smallSpec(10)
+	bad.FPS = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero fps accepted")
+	}
+}
+
+func TestClutterMovesBackground(t *testing.T) {
+	spec := Spec{
+		Name: "clutter", Width: 96, Height: 64, FPS: 10, NumFrames: 20,
+		Clutter: []ClutterPatch{{X: 0.1, Y: 0.1, W: 0.4, H: 0.4, Amp: 3, Period: 8}},
+		Seed:    9,
+	}
+	v, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No noise, no objects: any difference between frames is clutter sway.
+	// Frame 2 is a quarter period: sin(π/2) → maximum sway displacement.
+	d := frame.SSE(v.Frame(0).Y, v.Frame(2).Y)
+	if d == 0 {
+		t.Fatal("clutter did not move")
+	}
+	// The motion must be confined to the patch rectangle.
+	a, b := v.Frame(0).Y, v.Frame(2).Y
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 96; x++ {
+			inPatch := x >= 9 && x < 9+39 && y >= 6 && y < 6+26
+			if !inPatch && a.At(x, y) != b.At(x, y) {
+				t.Fatalf("pixel (%d,%d) outside clutter changed", x, y)
+			}
+		}
+	}
+}
+
+func TestFlickerShiftsLuma(t *testing.T) {
+	spec := Spec{
+		Name: "flicker", Width: 64, Height: 64, FPS: 10, NumFrames: 20,
+		FlickerAmp: 4, FlickerPeriod: 16, Seed: 5,
+	}
+	v, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(p *frame.Plane) float64 {
+		var s int64
+		for _, px := range p.Pix {
+			s += int64(px)
+		}
+		return float64(s) / float64(len(p.Pix))
+	}
+	m0 := mean(v.Frame(0).Y)   // sin(0) = 0
+	m4 := mean(v.Frame(4).Y)   // sin(π/2) = 1 → +4
+	m12 := mean(v.Frame(12).Y) // sin(3π/2) = -1 → -4
+	if m4-m0 < 3 || m0-m12 < 3 {
+		t.Fatalf("flicker not applied: m0=%.1f m4=%.1f m12=%.1f", m0, m4, m12)
+	}
+}
+
+func TestGenerateObjectsStructure(t *testing.T) {
+	objs := GenerateObjects(600, 400, 5000, ScheduleParams{
+		Classes: []Class{Car, Bus},
+		Scale:   0.25, ScaleJitter: 0.05,
+		Speed: 5, SpeedJitter: 1,
+		MeanGap: 80, MinGap: 20,
+		Seed: 77,
+	})
+	if len(objs) < 5 {
+		t.Fatalf("too few objects: %d", len(objs))
+	}
+	for i, o := range objs {
+		if o.Exit <= o.Enter {
+			t.Fatalf("object %d empty interval", i)
+		}
+		if o.Class != Car && o.Class != Bus {
+			t.Fatalf("object %d unexpected class %s", i, o.Class)
+		}
+		if i > 0 && o.Enter < objs[i-1].Exit+20 {
+			t.Fatalf("object %d violates MinGap: enter %d, prev exit %d", i, o.Enter, objs[i-1].Exit)
+		}
+		band := [2]float64{0.2, 0.3} // base ± jitter
+		if o.Class == Bus {
+			band[0] *= 1.35 // buses scale up (classScaleFactor)
+			band[1] *= 1.35
+		}
+		if o.Scale < band[0]-1e-9 || o.Scale > band[1]+1e-9 {
+			t.Fatalf("object %d (%s) scale %f outside jitter band %v", i, o.Class, o.Scale, band)
+		}
+	}
+	// Deterministic.
+	again := GenerateObjects(600, 400, 5000, ScheduleParams{
+		Classes: []Class{Car, Bus},
+		Scale:   0.25, ScaleJitter: 0.05,
+		Speed: 5, SpeedJitter: 1,
+		MeanGap: 80, MinGap: 20,
+		Seed: 77,
+	})
+	if len(again) != len(objs) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range objs {
+		if objs[i] != again[i] {
+			t.Fatalf("object %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateObjectsMaxCap(t *testing.T) {
+	objs := GenerateObjects(600, 400, 100000, ScheduleParams{
+		Classes: []Class{Car}, Scale: 0.2, Speed: 5,
+		MeanGap: 10, MaxObjects: 7, Seed: 3,
+	})
+	if len(objs) != 7 {
+		t.Fatalf("MaxObjects ignored: %d", len(objs))
+	}
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, name := range AllPresets() {
+		v, err := Preset(name, PresetOpts{Seconds: 5, FPS: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v.NumFrames() != 25 {
+			t.Fatalf("%s: frames=%d", name, v.NumFrames())
+		}
+		f := v.Frame(0)
+		if f.W != v.Spec().Width || f.H != v.Spec().Height {
+			t.Fatalf("%s: frame dims %dx%d", name, f.W, f.H)
+		}
+	}
+	if _, err := Preset("nope", PresetOpts{}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetsHaveEvents(t *testing.T) {
+	// At 6 minutes each labelled preset must produce several events so the
+	// tuner has signal to work with.
+	for _, name := range LabelledPresets() {
+		v, err := Preset(name, PresetOpts{Seconds: 360, FPS: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := v.Events()
+		if len(evs) < 4 {
+			t.Errorf("%s: only %d events in 360s", name, len(evs))
+		}
+	}
+}
+
+func TestPresetSeedIndependence(t *testing.T) {
+	a, err := Preset(JacksonSquare, PresetOpts{Seconds: 20, FPS: 5, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preset(JacksonSquare, PresetOpts{Seconds: 20, FPS: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule := len(a.Spec().Objects) == len(b.Spec().Objects)
+	if sameSchedule {
+		for i := range a.Spec().Objects {
+			if a.Spec().Objects[i] != b.Spec().Objects[i] {
+				sameSchedule = false
+				break
+			}
+		}
+	}
+	if sameSchedule {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCrossingFrames(t *testing.T) {
+	// A car (aspect 2:1) at scale 0.5 in 100x100: height 50, width 100.
+	// Crossing 100+100 = 200 px at 4 px/frame = 50 frames.
+	if got := CrossingFrames(Car, 0.5, 100, 100, 4); got != 50 {
+		t.Fatalf("CrossingFrames = %d, want 50", got)
+	}
+	if got := CrossingFrames(Car, 0.5, 100, 100, -4); got != 50 {
+		t.Fatalf("negative speed: %d, want 50", got)
+	}
+	if CrossingFrames(Car, 0.5, 100, 100, 0) <= 0 {
+		t.Fatal("zero speed should still terminate")
+	}
+}
+
+func BenchmarkRenderFrameJackson(b *testing.B) {
+	v, err := Preset(JacksonSquare, PresetOpts{Seconds: 10, FPS: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Frame(i % v.NumFrames())
+	}
+}

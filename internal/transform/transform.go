@@ -1,0 +1,208 @@
+// Package transform implements the 8×8 block transform stage of the SiEVE
+// codec: a floating-point DCT-II/DCT-III pair applied through fixed-point
+// entry points, JPEG-style quantisation with a quality-scaled matrix, and
+// the zig-zag scan that orders coefficients for run-length entropy coding.
+package transform
+
+import "math"
+
+// BlockSize is the transform block edge length in pixels.
+const BlockSize = 8
+
+// Block is an 8×8 block of spatial samples or transform coefficients in
+// row-major order.
+type Block [BlockSize * BlockSize]int32
+
+var (
+	// cosTable[u][x] = cos((2x+1)uπ/16) * c(u)/2 with c(0)=1/√2, c(u≠0)=1.
+	cosTable [BlockSize][BlockSize]float64
+	// zigzag[i] is the raster index of the i-th coefficient in scan order.
+	zigzag [BlockSize * BlockSize]int
+	// unzigzag is the inverse permutation.
+	unzigzag [BlockSize * BlockSize]int
+)
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		c := 1.0
+		if u == 0 {
+			c = 1 / math.Sqrt2
+		}
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = c / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+	// Standard JPEG zig-zag order.
+	i := 0
+	for s := 0; s < 2*BlockSize-1; s++ {
+		if s%2 == 0 { // up-right
+			x, y := 0, s
+			if y >= BlockSize {
+				y = BlockSize - 1
+				x = s - y
+			}
+			for x < BlockSize && y >= 0 {
+				zigzag[i] = y*BlockSize + x
+				i++
+				x++
+				y--
+			}
+		} else { // down-left
+			y, x := 0, s
+			if x >= BlockSize {
+				x = BlockSize - 1
+				y = s - x
+			}
+			for y < BlockSize && x >= 0 {
+				zigzag[i] = y*BlockSize + x
+				i++
+				y++
+				x--
+			}
+		}
+	}
+	for idx, r := range zigzag {
+		unzigzag[r] = idx
+	}
+}
+
+// Forward applies the 2-D DCT-II to src (spatial samples, typically centred
+// around zero by subtracting 128 or a prediction) writing coefficients to dst.
+func Forward(src, dst *Block) {
+	var tmp [BlockSize * BlockSize]float64
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += float64(src[y*BlockSize+x]) * cosTable[u][x]
+			}
+			tmp[y*BlockSize+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y*BlockSize+u] * cosTable[v][y]
+			}
+			dst[v*BlockSize+u] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// Inverse applies the 2-D DCT-III (inverse DCT), reconstructing spatial
+// samples from coefficients.
+func Inverse(src, dst *Block) {
+	var tmp [BlockSize * BlockSize]float64
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += float64(src[v*BlockSize+u]) * cosTable[v][y]
+			}
+			tmp[y*BlockSize+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += tmp[y*BlockSize+u] * cosTable[u][x]
+			}
+			dst[y*BlockSize+x] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// baseLumaQuant is the JPEG Annex K luminance quantisation matrix; a proven
+// perceptual weighting that our codec reuses for both luma and chroma.
+var baseLumaQuant = [BlockSize * BlockSize]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// Quantizer scales the base matrix by a quality factor and performs
+// coefficient quantisation and reconstruction.
+type Quantizer struct {
+	q    [BlockSize * BlockSize]int32
+	qual int
+}
+
+// NewQuantizer builds a quantizer for quality in [1,100] using the JPEG
+// quality-to-scale mapping (50 = base matrix, higher = finer).
+func NewQuantizer(quality int) *Quantizer {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - quality*2)
+	}
+	qz := &Quantizer{qual: quality}
+	for i, b := range baseLumaQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		qz.q[i] = v
+	}
+	return qz
+}
+
+// Quality returns the quality factor the quantizer was built with.
+func (qz *Quantizer) Quality() int { return qz.qual }
+
+// Quantize divides coefficients by the scaled matrix with rounding.
+func (qz *Quantizer) Quantize(src, dst *Block) {
+	for i := range src {
+		c := src[i]
+		q := qz.q[i]
+		if c >= 0 {
+			dst[i] = (c + q/2) / q
+		} else {
+			dst[i] = -((-c + q/2) / q)
+		}
+	}
+}
+
+// Dequantize multiplies quantised levels back to coefficient scale.
+func (qz *Quantizer) Dequantize(src, dst *Block) {
+	for i := range src {
+		dst[i] = src[i] * qz.q[i]
+	}
+}
+
+// ZigZag reorders a raster block into scan order.
+func ZigZag(src, dst *Block) {
+	for i, r := range zigzag {
+		dst[i] = src[r]
+	}
+}
+
+// UnZigZag restores raster order from scan order.
+func UnZigZag(src, dst *Block) {
+	for i, r := range zigzag {
+		dst[r] = src[i]
+	}
+}
+
+// ScanIndex returns the raster index of scan position i (for tests).
+func ScanIndex(i int) int { return zigzag[i] }

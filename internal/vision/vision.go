@@ -1,0 +1,132 @@
+// Package vision implements the image-similarity event detectors SiEVE is
+// compared against (the NoScope-style baselines of Section V-A): pixel-wise
+// mean squared error and SIFT feature matching. Both consume *decoded*
+// frames — that is the point of the comparison: they pay the full decode
+// cost for every frame, while SiEVE's I-frame seeker never decodes P-frames.
+package vision
+
+import (
+	"math"
+	"sort"
+
+	"sieve/internal/frame"
+)
+
+// Detector scores how much each new frame differs from its predecessor.
+// Higher scores mean more change; a threshold on the score turns a Detector
+// into an event sampler.
+type Detector interface {
+	// Name identifies the detector ("mse", "sift").
+	Name() string
+	// Score consumes the next frame and returns its change score relative
+	// to the previous frame. The first frame scores +Inf (always an event).
+	Score(f *frame.YUV) float64
+	// Reset drops the detector's history.
+	Reset()
+}
+
+// MSEDetector scores frames by luma mean squared error against the previous
+// frame — the cheapest possible differencing baseline.
+type MSEDetector struct {
+	prev *frame.Plane
+}
+
+var _ Detector = (*MSEDetector)(nil)
+
+// NewMSE returns a fresh MSE detector.
+func NewMSE() *MSEDetector { return &MSEDetector{} }
+
+// Name implements Detector.
+func (d *MSEDetector) Name() string { return "mse" }
+
+// Reset implements Detector.
+func (d *MSEDetector) Reset() { d.prev = nil }
+
+// Score implements Detector.
+func (d *MSEDetector) Score(f *frame.YUV) float64 {
+	cur := f.Y.Clone()
+	if d.prev == nil {
+		d.prev = cur
+		return math.Inf(1)
+	}
+	s := frame.MSE(d.prev, cur)
+	d.prev = cur
+	return s
+}
+
+// Scores runs a detector over a sequence of frames produced by next (which
+// returns nil at end of stream) and collects the per-frame scores.
+func Scores(d Detector, next func() *frame.YUV) []float64 {
+	d.Reset()
+	var out []float64
+	for {
+		f := next()
+		if f == nil {
+			return out
+		}
+		out = append(out, d.Score(f))
+	}
+}
+
+// SampleIndices returns the indices whose score is >= threshold — the
+// frames the baseline would send to the NN.
+func SampleIndices(scores []float64, threshold float64) []int {
+	var out []int
+	for i, s := range scores {
+		if s >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ThresholdForShare picks the threshold that samples approximately
+// share×len(scores) frames (the paper tunes each baseline's threshold to
+// match SiEVE's sampling rate for a fair accuracy comparison). A share of 0
+// returns +Inf; a share >= 1 returns -Inf.
+func ThresholdForShare(scores []float64, share float64) float64 {
+	n := len(scores)
+	if n == 0 || share <= 0 {
+		return math.Inf(1)
+	}
+	if share >= 1 {
+		return math.Inf(-1)
+	}
+	k := int(math.Round(share * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	sorted := make([]float64, n)
+	copy(sorted, scores)
+	sort.Float64s(sorted)
+	// k-th largest value.
+	return sorted[n-k]
+}
+
+// UniformIndices returns ceil(share*n) indices spread evenly over [0, n) —
+// the "Uniform Sampling" baseline of Section V-B.
+func UniformIndices(n int, share float64) []int {
+	if n <= 0 || share <= 0 {
+		return nil
+	}
+	k := int(math.Ceil(share * float64(n)))
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	step := float64(n) / float64(k)
+	for i := 0; i < k; i++ {
+		idx := int(float64(i) * step)
+		if idx >= n {
+			idx = n - 1
+		}
+		if len(out) > 0 && out[len(out)-1] == idx {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}

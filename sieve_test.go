@@ -1,0 +1,72 @@
+package sieve
+
+import (
+	"testing"
+
+	"sieve/internal/container"
+	"sieve/internal/synth"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Quickstart flow: dataset → tune → encode → seek → decode I-frames.
+	v, err := LoadDataset(synth.JacksonSquare, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Tune(v, DefaultSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := v.Spec()
+	var buf container.Buffer
+	enc, err := NewSemanticEncoder(&buf, TunedParams(spec.Width, spec.Height, best.Config), spec.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iCount := 0
+	for i := 0; i < v.NumFrames(); i++ {
+		ef, err := enc.Encode(v.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef.Type == FrameI {
+			iCount++
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenStream(&buf, buf.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeker := NewIFrameSeeker(r)
+	ifr := seeker.IFrames()
+	if len(ifr) != iCount {
+		t.Fatalf("seeker found %d I-frames, encoder wrote %d", len(ifr), iCount)
+	}
+	if seeker.FilterRate() <= 0.5 {
+		t.Fatalf("filter rate %.3f too low", seeker.FilterRate())
+	}
+	img, err := seeker.DecodeIFrame(ifr[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != spec.Width || img.H != spec.Height {
+		t.Fatalf("decoded %dx%d", img.W, img.H)
+	}
+}
+
+func TestDatasetsList(t *testing.T) {
+	if len(Datasets()) != 5 {
+		t.Fatalf("datasets = %d", len(Datasets()))
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(640, 400)
+	if p.GOPSize != 250 || p.Scenecut != 40 {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
