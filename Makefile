@@ -1,0 +1,48 @@
+# Targets mirror .github/workflows/ci.yml one-for-one so local runs and CI
+# cannot drift: each CI job invokes exactly one of these.
+
+GO ?= go
+
+# Packages fast enough for the 1-iteration benchmark smoke run (the root
+# package's benchmarks regenerate full paper figures and take minutes —
+# they are run on demand via `make bench-full`).
+BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
+             ./internal/nn/ ./internal/dataflow/ ./internal/runner/
+
+.PHONY: all build test test-short bench bench-full fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the files) if anything is not gofmt-clean.
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+# Full suite, including the slow figure/table regressions (several minutes).
+test:
+	$(GO) test ./...
+
+# CI-sized suite with the race detector; every concurrency path in the
+# evaluation engine is exercised at reduced scale.
+test-short:
+	$(GO) test -short -race ./...
+
+# One-iteration smoke run: benchmarks must still compile and complete.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# The full benchmark suite doubles as the experiment record (see
+# bench_test.go); this regenerates every paper figure and table.
+bench-full:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
+
+# Everything CI checks, in CI's order.
+ci: build vet fmt test-short bench

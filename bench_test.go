@@ -5,6 +5,7 @@
 package sieve
 
 import (
+	"context"
 	"testing"
 
 	"sieve/internal/codec"
@@ -25,7 +26,7 @@ var benchOpts = experiments.Opts{Seconds: 150, TrainSeconds: 150, FPS: 5}
 // accuracy gaps (the paper's "+11% vs SIFT, +48% vs MSE" on this feed).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(synth.JacksonSquare, benchOpts)
+		res, err := experiments.Figure3(context.Background(), synth.JacksonSquare, benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func BenchmarkFigure3(b *testing.B) {
 // MSE > SIFT (SIFT starves for keypoints on small persons).
 func BenchmarkFigure3Coral(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(synth.CoralReef, benchOpts)
+		res, err := experiments.Figure3(context.Background(), synth.CoralReef, benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkFigure3Coral(b *testing.B) {
 // on all three labelled feeds.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(benchOpts)
+		rows, err := experiments.Table2(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	opts := experiments.Opts{Seconds: 8, FPS: 5}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(opts)
+		rows, err := experiments.Table3(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFigure4And5(b *testing.B) {
 	opts := experiments.Opts{Seconds: 20, TrainSeconds: 60, FPS: 5}
 	for i := 0; i < b.N; i++ {
-		results, err := experiments.E2E([]int{1, 3, 5}, opts)
+		results, err := experiments.E2E(context.Background(), []int{1, 3, 5}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,6 +122,27 @@ func BenchmarkFigure4And5(b *testing.B) {
 			b.Log("\n" + experiments.RenderFigure4(results))
 			b.Log("\n" + experiments.RenderFigure5(results))
 		}
+	}
+}
+
+// BenchmarkE2EParallelism compares the end-to-end experiment at Parallel=1
+// (the sequential reference) against the default pool — the speedup the
+// concurrent evaluation engine buys on this machine's core count.
+func BenchmarkE2EParallelism(b *testing.B) {
+	opts := experiments.Opts{Seconds: 10, TrainSeconds: 20, FPS: 5}
+	for _, cfg := range []struct {
+		name     string
+		parallel int
+	}{{"sequential", 1}, {"pooled", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			o := opts
+			o.Parallel = cfg.parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.E2E(context.Background(), []int{1, 3}, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -176,7 +198,7 @@ func BenchmarkAblationTunerReplay(b *testing.B) {
 // BenchmarkAblationSeekVsDecode isolates the paper's core claim: skipping
 // P-frames via stream metadata versus decoding every frame.
 func BenchmarkAblationSeekVsDecode(b *testing.B) {
-	a, err := pipeline.PrepareAsset(synth.JacksonSquare,
+	a, err := pipeline.PrepareAsset(context.Background(), synth.JacksonSquare,
 		pipeline.AssetOpts{Seconds: 20, FPS: 5, TrainSeconds: 40})
 	if err != nil {
 		b.Fatal(err)

@@ -6,19 +6,23 @@
 //
 //	sieve gen    -dataset jackson_square -seconds 30 -out feed.svf
 //	sieve tune   -dataset jackson_square -seconds 60 -table lookup.json
+//	sieve tune   -dataset all -parallel 3 -table lookup.json
 //	sieve encode -dataset jackson_square -seconds 30 -gop 50 -scenecut 200 -out feed.svf
 //	sieve seek   -in feed.svf
 //	sieve info   -in feed.svf
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sieve/internal/codec"
 	"sieve/internal/container"
+	"sieve/internal/runner"
 	"sieve/internal/synth"
 	"sieve/internal/tuner"
 )
@@ -110,22 +114,46 @@ func cmdEncode(args []string, defaults bool) {
 
 func cmdTune(args []string) {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
-	dataset := fs.String("dataset", "jackson_square", "labelled dataset preset")
+	dataset := fs.String("dataset", "jackson_square", `labelled dataset preset, or "all"`)
 	seconds := fs.Int("seconds", 120, "seconds of training video")
 	fps := fs.Int("fps", 10, "frames per second")
 	table := fs.String("table", "", "lookup table JSON to update (optional)")
+	parallel := fs.Int("parallel", 0, "cameras tuned at once (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort tuning after this long (0 = no limit)")
 	_ = fs.Parse(args)
 
-	v, err := synth.Preset(synth.PresetName(*dataset), synth.PresetOpts{Seconds: *seconds, FPS: *fps, Seed: 1})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	names := []synth.PresetName{synth.PresetName(*dataset)}
+	if *dataset == "all" {
+		names = synth.LabelledPresets()
+	}
+
+	// Tune every requested camera concurrently; results stay in input order.
+	start := time.Now()
+	results, err := runner.MapSlice(ctx, runner.New(*parallel), names,
+		func(ctx context.Context, name synth.PresetName) (tuner.Result, error) {
+			v, err := synth.Preset(name, synth.PresetOpts{Seconds: *seconds, FPS: *fps, Seed: 1})
+			if err != nil {
+				return tuner.Result{}, err
+			}
+			return tuner.Tune(ctx, v, v.Track(), tuner.DefaultSweep())
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := tuner.Tune(v, v.Track(), tuner.DefaultSweep())
-	if err != nil {
-		log.Fatal(err)
+	for i, best := range results {
+		fmt.Printf("%s: best %s  acc=%.1f%% ss=%.2f%% f1=%.1f%%\n",
+			names[i], best.Config, 100*best.Acc, 100*best.SS, 100*best.F1)
 	}
-	fmt.Printf("%s: best %s  acc=%.1f%% ss=%.2f%% f1=%.1f%%\n",
-		*dataset, best.Config, 100*best.Acc, 100*best.SS, 100*best.F1)
+	if len(names) > 1 {
+		fmt.Printf("tuned %d cameras in %v\n", len(names), time.Since(start).Round(time.Millisecond))
+	}
 	if *table == "" {
 		return
 	}
@@ -136,7 +164,9 @@ func cmdTune(args []string) {
 		}
 		tab = tuner.NewLookupTable()
 	}
-	tab.Set(*dataset, best.Config)
+	for i, best := range results {
+		tab.Set(string(names[i]), best.Config)
+	}
 	if err := tab.Save(*table); err != nil {
 		log.Fatal(err)
 	}

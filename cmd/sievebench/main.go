@@ -1,15 +1,25 @@
 // Command sievebench regenerates every table and figure of the SiEVE
 // paper's evaluation and prints them in the paper's layout.
 //
+// Experiments fan out over a bounded worker pool (-parallel, default
+// GOMAXPROCS); results are collected index-stably and every wall-clock
+// measurement (Table 3 rates, Figure 4 micro-costs) is taken serially so
+// timed sections never contend for cores. The rendered output therefore
+// does not depend on the parallelism — only wall-clock does (measured
+// rates still vary run to run, as any timing does).
+//
 // Usage:
 //
-//	sievebench -exp all                # everything (several minutes)
+//	sievebench -exp all                # everything
+//	sievebench -exp all -parallel 1    # sequential reference run
 //	sievebench -exp table2 -seconds 120
 //	sievebench -exp fig3 -dataset jackson_square
-//	sievebench -exp fig4 -exp fig5    # e2e experiments share asset prep
+//	sievebench -exp fig4,fig5 -timeout 10m  # e2e experiments share asset prep
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,18 +34,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sievebench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig3|fig4|fig5|all")
-		dataset = flag.String("dataset", "", "restrict fig3 to one labelled dataset")
-		seconds = flag.Int("seconds", 0, "seconds of evaluation video per feed (default 120)")
-		train   = flag.Int("train", 0, "seconds of tuning video (default = -seconds)")
-		fps     = flag.Int("fps", 0, "synthetic feed fps (default 10)")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|fig3|fig4|fig5|all")
+		dataset  = flag.String("dataset", "", "restrict fig3 to one labelled dataset")
+		seconds  = flag.Int("seconds", 0, "seconds of evaluation video per feed (default 120)")
+		train    = flag.Int("train", 0, "seconds of tuning video (default = -seconds)")
+		fps      = flag.Int("fps", 0, "synthetic feed fps (default 10)")
+		parallel = flag.Int("parallel", 0, "worker pool size (default GOMAXPROCS; 1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	opts := experiments.Opts{Seconds: *seconds, TrainSeconds: *train, FPS: *fps}
+	opts := experiments.Opts{
+		Seconds: *seconds, TrainSeconds: *train, FPS: *fps, Parallel: *parallel,
+	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	known := map[string]bool{
+		"all": true, "table1": true, "table2": true, "table3": true,
+		"fig3": true, "fig4": true, "fig5": true,
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			log.Fatalf("unknown experiment %q (want table1|table2|table3|fig3|fig4|fig5|all)", name)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 
@@ -48,9 +80,9 @@ func main() {
 			names = []synth.PresetName{synth.PresetName(*dataset)}
 		}
 		for _, name := range names {
-			res, err := experiments.Figure3(name, opts)
+			res, err := experiments.Figure3(ctx, name, opts)
 			if err != nil {
-				log.Fatalf("figure3 %s: %v", name, err)
+				fatalf("figure3 %s: %v", name, err)
 			}
 			fmt.Println(res.Render())
 			fmt.Printf("  mean gap: SiEVE-SIFT %+.1f%%, SiEVE-MSE %+.1f%%\n\n",
@@ -58,23 +90,23 @@ func main() {
 		}
 	}
 	if all || want["table2"] {
-		rows, err := experiments.Table2(opts)
+		rows, err := experiments.Table2(ctx, opts)
 		if err != nil {
-			log.Fatalf("table2: %v", err)
+			fatalf("table2: %v", err)
 		}
 		fmt.Println(experiments.RenderTable2(rows))
 	}
 	if all || want["table3"] {
-		rows, err := experiments.Table3(opts)
+		rows, err := experiments.Table3(ctx, opts)
 		if err != nil {
-			log.Fatalf("table3: %v", err)
+			fatalf("table3: %v", err)
 		}
 		fmt.Println(experiments.RenderTable3(rows))
 	}
 	if all || want["fig4"] || want["fig5"] {
-		results, err := experiments.E2E([]int{1, 3, 5}, opts)
+		results, err := experiments.E2E(ctx, []int{1, 3, 5}, opts)
 		if err != nil {
-			log.Fatalf("e2e: %v", err)
+			fatalf("e2e: %v", err)
 		}
 		if all || want["fig4"] {
 			fmt.Println(experiments.RenderFigure4(results))
@@ -87,4 +119,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// fatalf exits with a clearer message when the -timeout deadline killed the
+// run.
+func fatalf(format string, args ...any) {
+	for _, a := range args {
+		if err, ok := a.(error); ok && errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("run exceeded -timeout: "+format, args...)
+		}
+	}
+	log.Fatalf(format, args...)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,9 +14,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	fmt.Println("preparing asset (render → tune → encode twice → price baselines)...")
-	asset, err := pipeline.PrepareAsset(synth.JacksonSquare, pipeline.AssetOpts{
+	asset, err := pipeline.PrepareAsset(ctx, synth.JacksonSquare, pipeline.AssetOpts{
 		Seconds: 40, FPS: 10, TrainSeconds: 60,
 	})
 	if err != nil {
@@ -36,7 +38,7 @@ func main() {
 	costMap := map[string]pipeline.MicroCosts{asset.Name: costs}
 	fmt.Printf("%-26s %10s %14s %12s %s\n", "method", "fps", "edge→cloud", "makespan", "bottleneck")
 	for _, m := range pipeline.AllMethods() {
-		rep, err := pipeline.Evaluate(m, []*pipeline.VideoAsset{asset}, costMap, cluster)
+		rep, err := pipeline.Evaluate(ctx, m, []*pipeline.VideoAsset{asset}, costMap, cluster, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 
 	// 2. Offline tuning: find the (GOP, scenecut) pair whose I-frames land
 	//    on event boundaries.
-	best, err := sieve.Tune(video, sieve.DefaultSweep())
+	best, err := sieve.Tune(context.Background(), video, sieve.DefaultSweep())
 	if err != nil {
 		log.Fatal(err)
 	}

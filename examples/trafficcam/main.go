@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, err := tuner.Tune(history, history.Track(), tuner.DefaultSweep())
+	best, err := tuner.Tune(context.Background(), history, history.Track(), tuner.DefaultSweep())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module sieve
+
+go 1.24

@@ -86,10 +86,18 @@ type conn struct {
 	bytes atomic.Int64
 }
 
-func (c *conn) push(f *FlowFile) {
-	c.ch <- f
-	c.files.Add(1)
-	c.bytes.Add(int64(len(f.Content)))
+// push enqueues f, blocking for backpressure. It returns false without
+// enqueueing if ctx is cancelled first — a producer stuck on a full queue
+// whose consumer has quit must not outlive the run.
+func (c *conn) push(ctx context.Context, f *FlowFile) bool {
+	select {
+	case c.ch <- f:
+		c.files.Add(1)
+		c.bytes.Add(int64(len(f.Content)))
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // node is a processor or source plus its wiring.
@@ -254,17 +262,21 @@ func (e *Engine) Run(ctx context.Context) error {
 			defer closeDownstream(n)
 			emit := func(port string, f *FlowFile) {
 				conns := n.outs[port]
+				if len(conns) == 0 {
+					return
+				}
+				// Fan-out duplicates must all be taken while this goroutine
+				// still exclusively owns f: after the first push a
+				// downstream processor may already be mutating it.
+				copies := make([]*FlowFile, len(conns))
+				copies[0] = f
+				for i := 1; i < len(conns); i++ {
+					copies[i] = f.Clone()
+				}
 				for i, c := range conns {
-					out := f
-					if i > 0 { // fan-out duplicates after the first
-						out = f.Clone()
-					}
-					select {
-					case <-runCtx.Done():
+					if !c.push(runCtx, copies[i]) {
 						return
-					default:
 					}
-					c.push(out)
 				}
 			}
 			if n.src != nil {

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"sieve/internal/frame"
 	"sieve/internal/labels"
 	"sieve/internal/pipeline"
+	"sieve/internal/runner"
 	"sieve/internal/synth"
 	"sieve/internal/tuner"
 	"sieve/internal/vision"
@@ -38,6 +40,12 @@ type Opts struct {
 	TrainSeconds int
 	// FPS of the synthetic feeds (default 10).
 	FPS int
+	// Parallel bounds the worker pool that fans out asset preparation,
+	// parameter sweeps and the evaluation grid (0 = GOMAXPROCS, 1 =
+	// strictly sequential). Parallelism changes wall-clock only: every
+	// experiment collects its results index-stably, so reports and
+	// renderings are identical at any setting.
+	Parallel int
 }
 
 func (o *Opts) fill() {
@@ -51,6 +59,9 @@ func (o *Opts) fill() {
 		o.FPS = 10
 	}
 }
+
+// pool returns the experiments' shared worker-pool configuration.
+func (o Opts) pool() *runner.Pool { return runner.New(o.Parallel) }
 
 // ---------------------------------------------------------------- Figure 3
 
@@ -79,9 +90,13 @@ var fig3Shares = []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035}
 // one labelled preset. SiEVE's points come from sweep configurations whose
 // I-frame share falls at each target rate; SIFT and MSE thresholds are
 // tuned (on the same video, as the paper tunes on the training split) to
-// sample the same share of frames.
-func Figure3(name synth.PresetName, opts Opts) (Fig3Result, error) {
+// sample the same share of frames. The three method curves are computed
+// concurrently (frame rendering is deterministic and read-only), and the
+// SiEVE configuration sweep fans out over the pool; the series order and
+// every point are identical to a sequential run.
+func Figure3(ctx context.Context, name synth.PresetName, opts Opts) (Fig3Result, error) {
 	opts.fill()
+	pool := opts.pool()
 	res := Fig3Result{Dataset: string(name)}
 	v, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
 	if err != nil {
@@ -91,51 +106,81 @@ func Figure3(name synth.PresetName, opts Opts) (Fig3Result, error) {
 
 	// SiEVE: replay a dense config grid, then pick, for each target share,
 	// the best accuracy among configurations within the share budget.
-	costs := tuner.AnalyzeCosts(v)
-	sweep := tuner.Sweep{
-		GOPs:      []int{20, 25, 33, 50, 75, 100, 150, 250, 500, 1000},
-		Scenecuts: []float64{0, 20, 40, 100, 150, 200, 250, 300},
-	}
-	results, _ := tuner.RunSweep(costs, track, sweep, tuner.DefaultMinGOP)
-	sieve := Fig3Series{Method: "SiEVE"}
-	for _, share := range fig3Shares {
-		best := -1.0
-		for _, r := range results {
-			if r.SS <= share+0.002 && r.Acc > best {
-				best = r.Acc
+	sieveSeries := func(ctx context.Context) (Fig3Series, error) {
+		costs, err := tuner.AnalyzeCostsContext(ctx, v)
+		if err != nil {
+			return Fig3Series{}, err
+		}
+		sweep := tuner.Sweep{
+			GOPs:      []int{20, 25, 33, 50, 75, 100, 150, 250, 500, 1000},
+			Scenecuts: []float64{0, 20, 40, 100, 150, 200, 250, 300},
+		}
+		// Replay each configuration of the grid through the pool (the
+		// per-config replays are independent; collection is config-ordered).
+		results, err := runner.MapSlice(ctx, pool, sweep.Configs(),
+			func(_ context.Context, cfg tuner.Config) (tuner.Result, error) {
+				samples := tuner.ReplayPlacement(costs, cfg, tuner.DefaultMinGOP)
+				return tuner.Evaluate(track, samples, cfg), nil
+			})
+		if err != nil {
+			return Fig3Series{}, err
+		}
+		sieve := Fig3Series{Method: "SiEVE"}
+		for _, share := range fig3Shares {
+			best := -1.0
+			for _, r := range results {
+				if r.SS <= share+0.002 && r.Acc > best {
+					best = r.Acc
+				}
+			}
+			if best >= 0 {
+				sieve.Points = append(sieve.Points, Fig3Point{Share: share, Acc: best})
 			}
 		}
-		if best >= 0 {
-			sieve.Points = append(sieve.Points, Fig3Point{Share: share, Acc: best})
-		}
+		return sieve, nil
 	}
-	res.Series = append(res.Series, sieve)
 
 	// Baselines: score every frame once, then sweep thresholds.
-	for _, det := range []vision.Detector{
-		vision.NewSIFT(vision.SIFTConfig{}),
-		vision.NewMSE(),
-	} {
-		i := 0
-		scores := vision.Scores(det, func() *frame.YUV {
-			if i >= v.NumFrames() {
-				return nil
-			}
-			f := v.Frame(i)
-			i++
-			return f
-		})
-		series := Fig3Series{Method: strings.ToUpper(det.Name())}
-		for _, share := range fig3Shares {
-			th := vision.ThresholdForShare(scores, share)
-			samples := vision.SampleIndices(scores, th)
-			series.Points = append(series.Points, Fig3Point{
-				Share: share,
-				Acc:   labels.Accuracy(track, samples),
+	baselineSeries := func(det vision.Detector) func(context.Context) (Fig3Series, error) {
+		return func(ctx context.Context) (Fig3Series, error) {
+			i := 0
+			scores := vision.Scores(det, func() *frame.YUV {
+				if i >= v.NumFrames() || ctx.Err() != nil {
+					return nil
+				}
+				f := v.Frame(i)
+				i++
+				return f
 			})
+			if err := ctx.Err(); err != nil {
+				return Fig3Series{}, err
+			}
+			series := Fig3Series{Method: strings.ToUpper(det.Name())}
+			for _, share := range fig3Shares {
+				th := vision.ThresholdForShare(scores, share)
+				samples := vision.SampleIndices(scores, th)
+				series.Points = append(series.Points, Fig3Point{
+					Share: share,
+					Acc:   labels.Accuracy(track, samples),
+				})
+			}
+			return series, nil
 		}
-		res.Series = append(res.Series, series)
 	}
+
+	tasks := []func(context.Context) (Fig3Series, error){
+		sieveSeries,
+		baselineSeries(vision.NewSIFT(vision.SIFTConfig{})),
+		baselineSeries(vision.NewMSE()),
+	}
+	series, err := runner.MapSlice(ctx, pool, tasks,
+		func(ctx context.Context, fn func(context.Context) (Fig3Series, error)) (Fig3Series, error) {
+			return fn(ctx)
+		})
+	if err != nil {
+		return res, err
+	}
+	res.Series = series
 	return res, nil
 }
 
@@ -304,32 +349,36 @@ type Table2Row struct {
 }
 
 // Table2 tunes each labelled preset on a training split and scores both the
-// tuned and the default configuration on the evaluation split.
-func Table2(opts Opts) ([]Table2Row, error) {
+// tuned and the default configuration on the evaluation split. The three
+// per-preset tuning sweeps — the heavy work — run concurrently on the pool;
+// rows come back in preset order.
+func Table2(ctx context.Context, opts Opts) ([]Table2Row, error) {
 	opts.fill()
-	rows := make([]Table2Row, 0, 3)
-	for _, name := range synth.LabelledPresets() {
-		train, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.TrainSeconds, FPS: opts.FPS, Seed: 1})
-		if err != nil {
-			return nil, err
-		}
-		best, err := tuner.Tune(train, train.Track(), tuner.DefaultSweep())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: tuning %s: %w", name, err)
-		}
-		test, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
-		if err != nil {
-			return nil, err
-		}
-		costs := tuner.AnalyzeCosts(test)
-		track := test.Track()
-		semantic := tuner.Evaluate(track,
-			tuner.ReplayPlacement(costs, best.Config, tuner.DefaultMinGOP), best.Config)
-		def := tuner.Evaluate(track,
-			tuner.ReplayPlacement(costs, tuner.DefaultConfig(), 1), tuner.DefaultConfig())
-		rows = append(rows, Table2Row{Dataset: string(name), Semantic: semantic, Default: def})
-	}
-	return rows, nil
+	return runner.MapSlice(ctx, opts.pool(), synth.LabelledPresets(),
+		func(ctx context.Context, name synth.PresetName) (Table2Row, error) {
+			train, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.TrainSeconds, FPS: opts.FPS, Seed: 1})
+			if err != nil {
+				return Table2Row{}, err
+			}
+			best, err := tuner.Tune(ctx, train, train.Track(), tuner.DefaultSweep())
+			if err != nil {
+				return Table2Row{}, fmt.Errorf("experiments: tuning %s: %w", name, err)
+			}
+			test, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
+			if err != nil {
+				return Table2Row{}, err
+			}
+			costs, err := tuner.AnalyzeCostsContext(ctx, test)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			track := test.Track()
+			semantic := tuner.Evaluate(track,
+				tuner.ReplayPlacement(costs, best.Config, tuner.DefaultMinGOP), best.Config)
+			def := tuner.Evaluate(track,
+				tuner.ReplayPlacement(costs, tuner.DefaultConfig(), 1), tuner.DefaultConfig())
+			return Table2Row{Dataset: string(name), Semantic: semantic, Default: def}, nil
+		})
 }
 
 // RenderTable2 prints the comparison in the paper's Acc/SS/F1 layout.
@@ -359,58 +408,79 @@ type Table3Row struct {
 }
 
 // Table3 measures how many frames per second each event-detection approach
-// sustains, per dataset resolution, on this host.
-func Table3(opts Opts) ([]Table3Row, error) {
+// sustains, per dataset resolution, on this host. The per-preset
+// render+encode setup — the expensive part — fans out over the pool; the
+// timed sections then run strictly one preset at a time, so the measured
+// rates never contend for cores regardless of the pool size. Rows come
+// back in preset order.
+func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 	opts.fill()
-	rows := make([]Table3Row, 0, 3)
-	for _, name := range synth.LabelledPresets() {
-		v, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
-		if err != nil {
-			return nil, err
-		}
-		spec := v.Spec()
-		row := Table3Row{
-			Dataset:    string(name),
-			Resolution: fmt.Sprintf("%dx%d", spec.Width, spec.Height),
-		}
 
-		// Encode a short stream once (decode work is what's measured).
-		nFrames := v.NumFrames()
-		if nFrames > 40 {
-			nFrames = 40
-		}
-		enc, err := codec.NewEncoder(codec.Params{
-			Width: spec.Width, Height: spec.Height, Quality: 85,
-			GOPSize: 25, Scenecut: 200, MinGOP: tuner.DefaultMinGOP,
-		})
-		if err != nil {
-			return nil, err
-		}
-		buf := &container.Buffer{}
-		w, err := container.NewWriter(buf, container.StreamInfo{
-			Width: spec.Width, Height: spec.Height, FPS: spec.FPS, Quality: 85,
-		})
-		if err != nil {
-			return nil, err
-		}
-		frames := make([]*frame.YUV, nFrames)
-		for i := 0; i < nFrames; i++ {
-			frames[i] = v.Frame(i)
-			ef, err := enc.Encode(frames[i])
+	// Phase 1 (parallel): render and encode each preset's measurement clip.
+	type table3Setup struct {
+		row     Table3Row
+		reader  *container.Reader
+		nFrames int
+	}
+	setups, err := runner.MapSlice(ctx, opts.pool(), synth.LabelledPresets(),
+		func(ctx context.Context, name synth.PresetName) (table3Setup, error) {
+			var s table3Setup
+			v, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
 			if err != nil {
-				return nil, err
+				return s, err
 			}
-			if err := w.WriteEncoded(ef); err != nil {
-				return nil, err
+			spec := v.Spec()
+			s.row.Dataset = string(name)
+			s.row.Resolution = fmt.Sprintf("%dx%d", spec.Width, spec.Height)
+
+			// Encode a short stream once (decode work is what's measured).
+			s.nFrames = v.NumFrames()
+			if s.nFrames > 40 {
+				s.nFrames = 40
 			}
-		}
-		if err := w.Close(); err != nil {
+			enc, err := codec.NewEncoder(codec.Params{
+				Width: spec.Width, Height: spec.Height, Quality: 85,
+				GOPSize: 25, Scenecut: 200, MinGOP: tuner.DefaultMinGOP,
+			})
+			if err != nil {
+				return s, err
+			}
+			buf := &container.Buffer{}
+			w, err := container.NewWriter(buf, container.StreamInfo{
+				Width: spec.Width, Height: spec.Height, FPS: spec.FPS, Quality: 85,
+			})
+			if err != nil {
+				return s, err
+			}
+			for i := 0; i < s.nFrames; i++ {
+				if err := ctx.Err(); err != nil {
+					return s, err
+				}
+				ef, err := enc.Encode(v.Frame(i))
+				if err != nil {
+					return s, err
+				}
+				if err := w.WriteEncoded(ef); err != nil {
+					return s, err
+				}
+			}
+			if err := w.Close(); err != nil {
+				return s, err
+			}
+			s.reader, err = container.NewReader(buf, buf.Size())
+			return s, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (serial): time each approach on each preset's stream.
+	rows := make([]Table3Row, 0, len(setups))
+	for _, s := range setups {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := container.NewReader(buf, buf.Size())
-		if err != nil {
-			return nil, err
-		}
+		row, r, nFrames := s.row, s.reader, s.nFrames
 
 		// SiEVE: metadata scan rate.
 		start := time.Now()
@@ -500,8 +570,17 @@ type E2EResult struct {
 
 // E2E prepares assets for the first n presets and evaluates all five
 // methods (n ∈ {1,3,5} reproduces Figure 4's x-axis).
-func E2E(numVideos []int, opts Opts) ([]E2EResult, error) {
+//
+// Asset preparation (the dominant cost) and the full methods ×
+// workload-sizes evaluation grid both fan out over the pool; only the
+// per-asset micro-cost measurement stays serial, because it times real
+// operations and must not contend for cores. Collection is index-stable
+// throughout, so the result — NumVideos order, report order, every byte
+// total — is identical to the sequential implementation; only wall-clock
+// changes.
+func E2E(ctx context.Context, numVideos []int, opts Opts) ([]E2EResult, error) {
 	opts.fill()
+	pool := opts.pool()
 	maxN := 0
 	for _, n := range numVideos {
 		if n > maxN {
@@ -512,34 +591,55 @@ func E2E(numVideos []int, opts Opts) ([]E2EResult, error) {
 	if maxN > len(presets) {
 		return nil, fmt.Errorf("experiments: at most %d videos available", len(presets))
 	}
-	assets := make([]*pipeline.VideoAsset, 0, maxN)
-	costs := make(map[string]pipeline.MicroCosts, maxN)
-	for i := 0; i < maxN; i++ {
-		a, err := pipeline.PrepareAsset(presets[i], pipeline.AssetOpts{
+
+	// Phase 1: prepare every asset in parallel (render, tune, encode twice,
+	// price baselines — the dominant cost).
+	assets, err := runner.Map(ctx, pool, maxN, func(ctx context.Context, i int) (*pipeline.VideoAsset, error) {
+		a, err := pipeline.PrepareAsset(ctx, presets[i], pipeline.AssetOpts{
 			Seconds: opts.Seconds, FPS: opts.FPS, TrainSeconds: opts.TrainSeconds,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: preparing %s: %w", presets[i], err)
 		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Micro-costs are wall-clock measurements — take them one asset at a
+	// time so concurrent measurement runs never contend for cores and skew
+	// the service times the DES model is built on. This is milliseconds per
+	// asset, so it costs the fan-out nothing.
+	costs := make(map[string]pipeline.MicroCosts, maxN)
+	for _, a := range assets {
 		mc, err := pipeline.MeasureCosts(a, nil)
 		if err != nil {
 			return nil, err
 		}
-		assets = append(assets, a)
 		costs[a.Name] = mc
 	}
+
+	// Phase 2: evaluate the methods × workload-sizes grid concurrently. The
+	// grid itself saturates the pool, so each cell runs its per-asset work
+	// sequentially — nesting the pool would just multiply CPU-bound
+	// goroutines past the -parallel bound.
 	cluster := pipeline.DefaultCluster()
-	out := make([]E2EResult, 0, len(numVideos))
-	for _, n := range numVideos {
-		res := E2EResult{NumVideos: n}
-		for _, m := range pipeline.AllMethods() {
-			rep, err := pipeline.Evaluate(m, assets[:n], costs, cluster)
-			if err != nil {
-				return nil, err
-			}
-			res.Reports = append(res.Reports, rep)
+	methods := pipeline.AllMethods()
+	reports, err := runner.Map(ctx, pool, len(numVideos)*len(methods),
+		func(ctx context.Context, cell int) (pipeline.Report, error) {
+			n := numVideos[cell/len(methods)]
+			m := methods[cell%len(methods)]
+			return pipeline.Evaluate(ctx, m, assets[:n], costs, cluster, runner.Sequential())
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E2EResult, len(numVideos))
+	for w, n := range numVideos {
+		out[w] = E2EResult{
+			NumVideos: n,
+			Reports:   reports[w*len(methods) : (w+1)*len(methods)],
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }

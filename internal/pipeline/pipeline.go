@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"sieve/internal/des"
 	"sieve/internal/frame"
 	"sieve/internal/nn"
+	"sieve/internal/runner"
 	"sieve/internal/simnet"
 	"sieve/internal/synth"
 	"sieve/internal/tuner"
@@ -113,8 +115,12 @@ func (a *VideoAsset) SemanticBuffer() *container.Buffer { return a.semanticBuf }
 // training split (labelled feeds) or fixes one I-frame per 5 s (unlabelled
 // feeds, as in the paper), encodes the evaluation split with both semantic
 // and default parameters, and precomputes every baseline's sampling and
-// byte accounting.
-func PrepareAsset(name synth.PresetName, opts AssetOpts) (*VideoAsset, error) {
+// byte accounting. The context cancels the render/encode loops between
+// frames; pass context.Background() when cancellation is not needed.
+func PrepareAsset(ctx context.Context, name synth.PresetName, opts AssetOpts) (*VideoAsset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.fill()
 	test, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
 	if err != nil {
@@ -144,7 +150,7 @@ func PrepareAsset(name synth.PresetName, opts AssetOpts) (*VideoAsset, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := tuner.Tune(train, train.Track(), tuner.DefaultSweep())
+		best, err := tuner.Tune(ctx, train, train.Track(), tuner.DefaultSweep())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: tuning %s: %w", name, err)
 		}
@@ -162,16 +168,16 @@ func PrepareAsset(name synth.PresetName, opts AssetOpts) (*VideoAsset, error) {
 		asset.SemanticCfg = tuner.Config{GOP: 5 * opts.FPS, Scenecut: 0}
 	}
 
-	if err := asset.encodeStreams(test, opts); err != nil {
+	if err := asset.encodeStreams(ctx, test, opts); err != nil {
 		return nil, err
 	}
-	if err := asset.analyzeBaselines(test, opts, mseThreshold, labelled); err != nil {
+	if err := asset.analyzeBaselines(ctx, test, opts, mseThreshold, labelled); err != nil {
 		return nil, err
 	}
 	return asset, nil
 }
 
-func (a *VideoAsset) encodeStreams(v *synth.Video, opts AssetOpts) error {
+func (a *VideoAsset) encodeStreams(ctx context.Context, v *synth.Video, opts AssetOpts) error {
 	spec := v.Spec()
 	encodeOne := func(cfg tuner.Config, minGOP int) (*container.Buffer, *container.Reader, error) {
 		enc, err := codec.NewEncoder(codec.Params{
@@ -190,6 +196,9 @@ func (a *VideoAsset) encodeStreams(v *synth.Video, opts AssetOpts) error {
 			return nil, nil, err
 		}
 		for i := 0; i < v.NumFrames(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			ef, err := enc.Encode(v.Frame(i))
 			if err != nil {
 				return nil, nil, fmt.Errorf("pipeline: encoding %s frame %d: %w", a.Name, i, err)
@@ -219,7 +228,7 @@ func (a *VideoAsset) encodeStreams(v *synth.Video, opts AssetOpts) error {
 // analyzeBaselines decodes the streams once to precompute I-frame resized
 // sizes (semantic) and the uniform/MSE selections with their shipped bytes
 // (default stream).
-func (a *VideoAsset) analyzeBaselines(v *synth.Video, opts AssetOpts, mseThreshold float64, labelled bool) error {
+func (a *VideoAsset) analyzeBaselines(ctx context.Context, v *synth.Video, opts AssetOpts, mseThreshold float64, labelled bool) error {
 	// Semantic stream: decode each I-frame, resize to the NN input,
 	// re-encode intra to get shipped bytes.
 	a.ResizedIBytes = make(map[int]int)
@@ -265,6 +274,9 @@ func (a *VideoAsset) analyzeBaselines(v *synth.Video, opts AssetOpts, mseThresho
 	}
 	var msePending []pending
 	for i := 0; i < a.NumFrames; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		payload, err := a.Default.Payload(i)
 		if err != nil {
 			return err
@@ -467,10 +479,106 @@ type Report struct {
 	Bottleneck string
 }
 
+// item is one frame's service descriptor in the DES model.
+type item struct {
+	edge, cloud time.Duration
+	wanBytes    int64
+}
+
+// assetItems is one asset's contribution to an evaluation: its per-frame
+// service descriptors plus the asset-level accounting.
+type assetItems struct {
+	items           []item
+	cameraEdgeBytes int64
+	analysed        int
+}
+
+// methodItems builds one asset's per-frame service descriptors for a
+// method. It only reads the asset and the measured costs, so different
+// assets can be processed concurrently.
+func methodItems(method Method, a *VideoAsset, mc MicroCosts, cluster Cluster) (assetItems, error) {
+	var out assetItems
+	out.items = make([]item, 0, a.NumFrames)
+	iSet := make(map[int]int, len(a.ResizedIBytes))
+	for k, v := range a.ResizedIBytes {
+		iSet[k] = v
+	}
+	switch method {
+	case IFrameEdgeCloudNN:
+		out.cameraEdgeBytes = a.Semantic.PayloadBytes(nil)
+		for i := 0; i < a.NumFrames; i++ {
+			it := item{edge: scale(mc.Seek, cluster.EdgeSpeed)}
+			if n, isI := iSet[i]; isI {
+				it.edge += scale(mc.DecodeI+mc.ResizeEncode, cluster.EdgeSpeed)
+				it.wanBytes = int64(n)
+				it.cloud = scale(mc.NN, cluster.CloudSpeed)
+				out.analysed++
+			}
+			out.items = append(out.items, it)
+		}
+	case IFrameCloudCloudNN:
+		// Full semantic stream crosses both hops; seek and NN in cloud.
+		out.cameraEdgeBytes = a.Semantic.PayloadBytes(nil)
+		for i := 0; i < a.NumFrames; i++ {
+			m := a.Semantic.Meta(i)
+			it := item{
+				wanBytes: int64(m.Size),
+				cloud:    scale(mc.Seek, cluster.CloudSpeed),
+			}
+			if _, isI := iSet[i]; isI {
+				it.cloud += scale(mc.DecodeI+mc.NN, cluster.CloudSpeed)
+				out.analysed++
+			}
+			out.items = append(out.items, it)
+		}
+	case IFrameEdgeEdgeNN:
+		out.cameraEdgeBytes = a.Semantic.PayloadBytes(nil)
+		for i := 0; i < a.NumFrames; i++ {
+			it := item{edge: scale(mc.Seek, cluster.EdgeSpeed)}
+			if _, isI := iSet[i]; isI {
+				it.edge += scale(mc.DecodeI+mc.NN, cluster.EdgeSpeed)
+				it.wanBytes = labelTupleBytes
+				out.analysed++
+			}
+			out.items = append(out.items, it)
+		}
+	case UniformEdgeCloudNN:
+		out.cameraEdgeBytes = a.Default.PayloadBytes(nil)
+		for i := 0; i < a.NumFrames; i++ {
+			it := item{edge: scale(decodeCost(a, mc, i), cluster.EdgeSpeed)}
+			if n, ok := a.UniformSamples[i]; ok {
+				it.edge += scale(mc.ResizeEncode, cluster.EdgeSpeed)
+				it.wanBytes = int64(n)
+				it.cloud = scale(mc.NN, cluster.CloudSpeed)
+				out.analysed++
+			}
+			out.items = append(out.items, it)
+		}
+	case MSEEdgeCloudNN:
+		out.cameraEdgeBytes = a.Default.PayloadBytes(nil)
+		for i := 0; i < a.NumFrames; i++ {
+			it := item{edge: scale(decodeCost(a, mc, i)+mc.MSE, cluster.EdgeSpeed)}
+			if n, ok := a.MSESamples[i]; ok {
+				it.edge += scale(mc.ResizeEncode, cluster.EdgeSpeed)
+				it.wanBytes = int64(n)
+				it.cloud = scale(mc.NN, cluster.CloudSpeed)
+				out.analysed++
+			}
+			out.items = append(out.items, it)
+		}
+	default:
+		return out, fmt.Errorf("pipeline: unknown method %q", method)
+	}
+	return out, nil
+}
+
 // Evaluate runs one method over the assets (processed back to back, as in
 // the paper's post-event scenario where recorded videos are analysed from
-// edge storage).
-func Evaluate(method Method, assets []*VideoAsset, costs map[string]MicroCosts, cluster Cluster) (Report, error) {
+// edge storage). The per-asset service descriptors are built concurrently
+// on pool (nil uses a GOMAXPROCS-wide default) and concatenated in asset
+// order, so the result is identical to a sequential evaluation; the
+// discrete-event simulation itself is inherently ordered and stays serial.
+func Evaluate(ctx context.Context, method Method, assets []*VideoAsset, costs map[string]MicroCosts, cluster Cluster, pool *runner.Pool) (Report, error) {
 	if cluster.Net == nil {
 		cluster.Net = simnet.NewPaperTopology()
 	}
@@ -482,88 +590,27 @@ func Evaluate(method Method, assets []*VideoAsset, costs map[string]MicroCosts, 
 	}
 	rep := Report{Method: method}
 
-	// Concatenate per-frame service descriptors across assets.
-	type item struct {
-		edge, cloud time.Duration
-		wanBytes    int64
-	}
-	var items []item
-	for _, a := range assets {
+	// Build per-frame service descriptors for every asset in parallel.
+	parts, err := runner.MapSlice(ctx, pool, assets, func(_ context.Context, a *VideoAsset) (assetItems, error) {
 		mc, ok := costs[a.Name]
 		if !ok {
-			return rep, fmt.Errorf("pipeline: no measured costs for asset %q", a.Name)
+			return assetItems{}, fmt.Errorf("pipeline: no measured costs for asset %q", a.Name)
 		}
-		iSet := make(map[int]int, len(a.ResizedIBytes))
-		for k, v := range a.ResizedIBytes {
-			iSet[k] = v
-		}
-		switch method {
-		case IFrameEdgeCloudNN:
-			rep.CameraEdgeBytes += a.Semantic.PayloadBytes(nil)
-			for i := 0; i < a.NumFrames; i++ {
-				it := item{edge: scale(mc.Seek, cluster.EdgeSpeed)}
-				if n, isI := iSet[i]; isI {
-					it.edge += scale(mc.DecodeI+mc.ResizeEncode, cluster.EdgeSpeed)
-					it.wanBytes = int64(n)
-					it.cloud = scale(mc.NN, cluster.CloudSpeed)
-					rep.Analysed++
-				}
-				items = append(items, it)
-			}
-		case IFrameCloudCloudNN:
-			// Full semantic stream crosses both hops; seek and NN in cloud.
-			size := a.Semantic.PayloadBytes(nil)
-			rep.CameraEdgeBytes += size
-			for i := 0; i < a.NumFrames; i++ {
-				m := a.Semantic.Meta(i)
-				it := item{
-					wanBytes: int64(m.Size),
-					cloud:    scale(mc.Seek, cluster.CloudSpeed),
-				}
-				if _, isI := iSet[i]; isI {
-					it.cloud += scale(mc.DecodeI+mc.NN, cluster.CloudSpeed)
-					rep.Analysed++
-				}
-				items = append(items, it)
-			}
-		case IFrameEdgeEdgeNN:
-			rep.CameraEdgeBytes += a.Semantic.PayloadBytes(nil)
-			for i := 0; i < a.NumFrames; i++ {
-				it := item{edge: scale(mc.Seek, cluster.EdgeSpeed)}
-				if _, isI := iSet[i]; isI {
-					it.edge += scale(mc.DecodeI+mc.NN, cluster.EdgeSpeed)
-					it.wanBytes = labelTupleBytes
-					rep.Analysed++
-				}
-				items = append(items, it)
-			}
-		case UniformEdgeCloudNN:
-			rep.CameraEdgeBytes += a.Default.PayloadBytes(nil)
-			for i := 0; i < a.NumFrames; i++ {
-				it := item{edge: scale(decodeCost(a, mc, i), cluster.EdgeSpeed)}
-				if n, ok := a.UniformSamples[i]; ok {
-					it.edge += scale(mc.ResizeEncode, cluster.EdgeSpeed)
-					it.wanBytes = int64(n)
-					it.cloud = scale(mc.NN, cluster.CloudSpeed)
-					rep.Analysed++
-				}
-				items = append(items, it)
-			}
-		case MSEEdgeCloudNN:
-			rep.CameraEdgeBytes += a.Default.PayloadBytes(nil)
-			for i := 0; i < a.NumFrames; i++ {
-				it := item{edge: scale(decodeCost(a, mc, i)+mc.MSE, cluster.EdgeSpeed)}
-				if n, ok := a.MSESamples[i]; ok {
-					it.edge += scale(mc.ResizeEncode, cluster.EdgeSpeed)
-					it.wanBytes = int64(n)
-					it.cloud = scale(mc.NN, cluster.CloudSpeed)
-					rep.Analysed++
-				}
-				items = append(items, it)
-			}
-		default:
-			return rep, fmt.Errorf("pipeline: unknown method %q", method)
-		}
+		return methodItems(method, a, mc, cluster)
+	})
+	if err != nil {
+		return rep, err
+	}
+	// Concatenate in asset order — byte-identical to the sequential run.
+	total := 0
+	for _, p := range parts {
+		total += len(p.items)
+	}
+	items := make([]item, 0, total)
+	for _, p := range parts {
+		items = append(items, p.items...)
+		rep.CameraEdgeBytes += p.cameraEdgeBytes
+		rep.Analysed += p.analysed
 	}
 
 	wan := cluster.Net.EdgeToCloud

@@ -1,13 +1,25 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"sieve/internal/codec"
 	"sieve/internal/nn"
+	"sieve/internal/runner"
 	"sieve/internal/store"
 	"sieve/internal/synth"
 )
+
+// testAssetOpts returns the package tests' asset scale: full-sized normally,
+// shrunk under -short so the race-enabled CI job stays fast.
+func testAssetOpts() AssetOpts {
+	if testing.Short() {
+		return AssetOpts{Seconds: 16, FPS: 5, TrainSeconds: 24}
+	}
+	return AssetOpts{Seconds: 40, FPS: 5, TrainSeconds: 60}
+}
 
 // testAsset prepares a small Jackson asset once for the package's tests.
 var testAssetCache *VideoAsset
@@ -17,7 +29,7 @@ func testAsset(t *testing.T) *VideoAsset {
 	if testAssetCache != nil {
 		return testAssetCache
 	}
-	a, err := PrepareAsset(synth.JacksonSquare, AssetOpts{Seconds: 40, FPS: 5, TrainSeconds: 60})
+	a, err := PrepareAsset(context.Background(), synth.JacksonSquare, testAssetOpts())
 	if err != nil {
 		t.Fatalf("PrepareAsset: %v", err)
 	}
@@ -27,8 +39,9 @@ func testAsset(t *testing.T) *VideoAsset {
 
 func TestPrepareAssetBasics(t *testing.T) {
 	a := testAsset(t)
-	if a.NumFrames != 200 {
-		t.Fatalf("frames = %d", a.NumFrames)
+	opts := testAssetOpts()
+	if want := opts.Seconds * opts.FPS; a.NumFrames != want {
+		t.Fatalf("frames = %d, want %d", a.NumFrames, want)
 	}
 	if len(a.IFrames) == 0 {
 		t.Fatal("no I-frames in semantic stream")
@@ -51,6 +64,14 @@ func TestPrepareAssetBasics(t *testing.T) {
 	ratio := float64(len(a.UniformSamples)) / float64(len(a.IFrames))
 	if ratio < 0.5 || ratio > 2 {
 		t.Fatalf("uniform samples %d vs %d I-frames", len(a.UniformSamples), len(a.IFrames))
+	}
+}
+
+func TestPrepareAssetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrepareAsset(ctx, synth.JacksonSquare, AssetOpts{Seconds: 4, FPS: 2, TrainSeconds: 4}); err == nil {
+		t.Fatal("cancelled PrepareAsset succeeded")
 	}
 }
 
@@ -98,7 +119,7 @@ func TestEvaluateAllMethods(t *testing.T) {
 
 	reports := make(map[Method]Report, 5)
 	for _, m := range AllMethods() {
-		rep, err := Evaluate(m, []*VideoAsset{a}, costs, cluster)
+		rep, err := Evaluate(context.Background(), m, []*VideoAsset{a}, costs, cluster, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -118,8 +139,11 @@ func TestEvaluateAllMethods(t *testing.T) {
 			reports[IFrameEdgeCloudNN].Throughput, reports[UniformEdgeCloudNN].Throughput)
 	}
 	// Both decode every frame; MSE adds similarity work on top, so uniform
-	// is at least as fast (ties happen when decode dominates).
-	if reports[UniformEdgeCloudNN].Throughput < reports[MSEEdgeCloudNN].Throughput*0.99 {
+	// is at least as fast (ties happen when decode dominates) — provided
+	// MSE's tuned threshold didn't select fewer frames to ship, which can
+	// happen at small scales and hands MSE less downstream work.
+	if len(a.MSESamples) >= len(a.UniformSamples) &&
+		reports[UniformEdgeCloudNN].Throughput < reports[MSEEdgeCloudNN].Throughput*0.99 {
 		t.Errorf("uniform (%.0f fps) should be at least as fast as MSE (%.0f fps)",
 			reports[UniformEdgeCloudNN].Throughput, reports[MSEEdgeCloudNN].Throughput)
 	}
@@ -142,14 +166,48 @@ func TestEvaluateAllMethods(t *testing.T) {
 	}
 }
 
+// TestEvaluateParallelMatchesSequential fixes the micro-costs (the only
+// timing input) and checks the whole Report — including the modelled
+// makespan and throughput — is bit-identical at every pool size. This is
+// the "parallelism changes wall-clock only" contract at its strictest.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	a := testAsset(t)
+	fixed := MicroCosts{
+		Seek:         50 * time.Nanosecond,
+		DecodeI:      900 * time.Microsecond,
+		DecodeP:      400 * time.Microsecond,
+		MSE:          150 * time.Microsecond,
+		ResizeEncode: 700 * time.Microsecond,
+		NN:           12 * time.Millisecond,
+	}
+	// Evaluate the same 3-asset workload; reusing one asset three times is
+	// fine — Evaluate treats each entry independently.
+	assets := []*VideoAsset{a, a, a}
+	costs := map[string]MicroCosts{a.Name: fixed}
+	cluster := DefaultCluster()
+	for _, m := range AllMethods() {
+		seq, err := Evaluate(context.Background(), m, assets, costs, cluster, runner.Sequential())
+		if err != nil {
+			t.Fatalf("%s sequential: %v", m, err)
+		}
+		par, err := Evaluate(context.Background(), m, assets, costs, cluster, runner.New(4))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", m, err)
+		}
+		if seq != par {
+			t.Errorf("%s: parallel report differs from sequential:\nseq %+v\npar %+v", m, seq, par)
+		}
+	}
+}
+
 func TestEvaluateUnknownMethod(t *testing.T) {
 	a := testAsset(t)
-	_, err := Evaluate(Method("nope"), []*VideoAsset{a},
-		map[string]MicroCosts{a.Name: {}}, DefaultCluster())
+	_, err := Evaluate(context.Background(), Method("nope"), []*VideoAsset{a},
+		map[string]MicroCosts{a.Name: {}}, DefaultCluster(), nil)
 	if err == nil {
 		t.Fatal("unknown method accepted")
 	}
-	_, err = Evaluate(IFrameEdgeCloudNN, []*VideoAsset{a}, nil, DefaultCluster())
+	_, err = Evaluate(context.Background(), IFrameEdgeCloudNN, []*VideoAsset{a}, nil, DefaultCluster(), nil)
 	if err == nil {
 		t.Fatal("missing costs accepted")
 	}

@@ -16,6 +16,7 @@
 package tuner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -101,12 +102,23 @@ type Result struct {
 // AnalyzeCosts runs the codec's lookahead analyzer over the whole video.
 // One pass serves every configuration in the sweep.
 func AnalyzeCosts(src Source) []codec.Cost {
+	out, _ := AnalyzeCostsContext(context.Background(), src) // cannot fail
+	return out
+}
+
+// AnalyzeCostsContext is AnalyzeCosts with between-frame cancellation —
+// the analysis pass is the long-running part of tuning, so this is where a
+// deadline has to be able to interrupt.
+func AnalyzeCostsContext(ctx context.Context, src Source) ([]codec.Cost, error) {
 	an := codec.NewCostAnalyzer()
 	out := make([]codec.Cost, src.NumFrames())
 	for i := range out {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[i] = an.Analyze(src.Frame(i))
 	}
-	return out
+	return out, nil
 }
 
 // ReplayPlacement applies the encoder's I/P decision rule to precomputed
@@ -209,8 +221,9 @@ func RunSweep(costs []codec.Cost, track labels.Track, sweep Sweep, minGOP int) (
 }
 
 // Tune is the end-to-end offline stage for one camera: analyze costs on the
-// labelled training video, sweep, and return the best configuration.
-func Tune(src Source, track labels.Track, sweep Sweep) (Result, error) {
+// labelled training video, sweep, and return the best configuration. The
+// context cancels the analysis pass between frames.
+func Tune(ctx context.Context, src Source, track labels.Track, sweep Sweep) (Result, error) {
 	if src.NumFrames() == 0 || len(track) != src.NumFrames() {
 		return Result{}, fmt.Errorf("tuner: track length %d does not match video %d frames",
 			len(track), src.NumFrames())
@@ -218,7 +231,10 @@ func Tune(src Source, track labels.Track, sweep Sweep) (Result, error) {
 	if len(sweep.GOPs) == 0 || len(sweep.Scenecuts) == 0 {
 		return Result{}, fmt.Errorf("tuner: empty sweep")
 	}
-	costs := AnalyzeCosts(src)
+	costs, err := AnalyzeCostsContext(ctx, src)
+	if err != nil {
+		return Result{}, err
+	}
 	_, best := RunSweep(costs, track, sweep, DefaultMinGOP)
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -51,12 +52,16 @@ func TestReplayMatchesEncoding(t *testing.T) {
 	// pass gives exactly the placement the real encoder produces.
 	v := tunerClip(t, 120, 3)
 	costs := AnalyzeCosts(v)
-	for _, cfg := range []Config{
+	configs := []Config{
 		{GOP: 30, Scenecut: 0},
 		{GOP: 40, Scenecut: 100},
 		{GOP: 1000, Scenecut: 250},
 		{GOP: 10, Scenecut: 40},
-	} {
+	}
+	if testing.Short() {
+		configs = configs[:2] // the re-encode per config is the slow part
+	}
+	for _, cfg := range configs {
 		replay := ReplayPlacement(costs, cfg, 1)
 		encoded, err := PlacementByEncoding(v, cfg, 85, 1)
 		if err != nil {
@@ -99,7 +104,7 @@ func TestTunedBeatsDefaultF1(t *testing.T) {
 
 func TestTuneEndToEnd(t *testing.T) {
 	v := tunerClip(t, 1500, 11)
-	best, err := Tune(v, v.Track(), DefaultSweep())
+	best, err := Tune(context.Background(), v, v.Track(), DefaultSweep())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +120,10 @@ func TestTuneEndToEnd(t *testing.T) {
 
 func TestTuneValidation(t *testing.T) {
 	v := tunerClip(t, 50, 1)
-	if _, err := Tune(v, v.Track()[:10], DefaultSweep()); err == nil {
+	if _, err := Tune(context.Background(), v, v.Track()[:10], DefaultSweep()); err == nil {
 		t.Fatal("mismatched track accepted")
 	}
-	if _, err := Tune(v, v.Track(), Sweep{}); err == nil {
+	if _, err := Tune(context.Background(), v, v.Track(), Sweep{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
 }

@@ -14,6 +14,7 @@
 package sieve
 
 import (
+	"context"
 	"io"
 
 	"sieve/internal/codec"
@@ -147,8 +148,9 @@ func NewDecoder(info StreamInfo) (*codec.Decoder, error) {
 
 // Tune runs the offline stage on a labelled video: sweep GOP × scenecut,
 // score by the accuracy/filtering-rate harmonic mean, return the argmax.
-func Tune(v *Dataset, sweep tuner.Sweep) (TunerResult, error) {
-	return tuner.Tune(v, v.Track(), sweep)
+// The context cancels the analysis pass between frames.
+func Tune(ctx context.Context, v *Dataset, sweep tuner.Sweep) (TunerResult, error) {
+	return tuner.Tune(ctx, v, v.Track(), sweep)
 }
 
 // DefaultSweep is the paper's k=5 × l=5 sweep grid.

@@ -1,6 +1,7 @@
 package sieve
 
 import (
+	"context"
 	"testing"
 
 	"sieve/internal/container"
@@ -9,11 +10,15 @@ import (
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	// Quickstart flow: dataset → tune → encode → seek → decode I-frames.
-	v, err := LoadDataset(synth.JacksonSquare, 20, 5)
+	seconds := 20
+	if testing.Short() {
+		seconds = 8 // same flow, less footage
+	}
+	v, err := LoadDataset(synth.JacksonSquare, seconds, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := Tune(v, DefaultSweep())
+	best, err := Tune(context.Background(), v, DefaultSweep())
 	if err != nil {
 		t.Fatal(err)
 	}
