@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-full fmt vet ci
+.PHONY: all build test test-short bench bench-full fmt vet lint ci
 
 all: build
 
@@ -18,6 +18,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Uses staticcheck when present (CI installs it;
+# `go install honnef.co/go/tools/cmd/staticcheck@latest` locally) and
+# degrades to a no-op with a notice otherwise, so offline machines still run
+# `make ci` end to end.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go vet runs separately)"; \
+	fi
 
 # Fails (and lists the files) if anything is not gofmt-clean.
 fmt:
@@ -45,4 +56,4 @@ bench-full:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
 
 # Everything CI checks, in CI's order.
-ci: build vet fmt test-short bench
+ci: build vet fmt lint test-short bench

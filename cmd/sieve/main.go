@@ -1,6 +1,6 @@
 // Command sieve is the operator CLI: generate synthetic feeds, tune encoder
-// parameters offline, encode with tuned parameters, and inspect/seek SVF
-// streams.
+// parameters offline, encode with tuned parameters, run live multi-feed
+// streaming, and inspect/seek SVF streams.
 //
 // Usage:
 //
@@ -8,8 +8,12 @@
 //	sieve tune   -dataset jackson_square -seconds 60 -table lookup.json
 //	sieve tune   -dataset all -parallel 3 -table lookup.json
 //	sieve encode -dataset jackson_square -seconds 30 -gop 50 -scenecut 200 -out feed.svf
+//	sieve stream -feeds 3                      # concurrent synth+replay+push feeds
+//	sieve stream -feeds 3 -gop 50 -scenecut 200 -realtime
 //	sieve seek   -in feed.svf
 //	sieve info   -in feed.svf
+//
+// Run `sieve stream -h` for the per-feed source kinds and report columns.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 	"os"
 	"time"
 
-	"sieve/internal/codec"
+	"sieve"
 	"sieve/internal/container"
 	"sieve/internal/runner"
 	"sieve/internal/synth"
@@ -40,6 +44,8 @@ func main() {
 		cmdEncode(os.Args[2:], false)
 	case "tune":
 		cmdTune(os.Args[2:])
+	case "stream":
+		cmdStream(os.Args[2:])
 	case "seek":
 		cmdSeek(os.Args[2:])
 	case "info":
@@ -50,7 +56,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sieve <gen|encode|tune|seek|info> [flags]")
+	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|seek|info> [flags]
+
+  gen     render a synthetic preset and encode it with default parameters
+  encode  render and encode with explicit -gop/-scenecut
+  tune    offline GOP x scenecut sweep, optionally updating a lookup table
+  stream  run N concurrent feeds (synth, SVF replay, push) through the hub
+  seek    list a stream's I-frames from metadata only
+  info    print a stream's header and byte accounting
+
+Run 'sieve <command> -h' for the command's flags.`)
 	os.Exit(2)
 }
 
@@ -73,43 +88,23 @@ func cmdEncode(args []string, defaults bool) {
 	if defaults {
 		cfgGOP, cfgSC = 250, 40
 	}
-	enc, err := codec.NewEncoder(codec.Params{
-		Width: spec.Width, Height: spec.Height, Quality: 85,
-		GOPSize: cfgGOP, Scenecut: cfgSC, MinGOP: tuner.DefaultMinGOP,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	w, err := container.NewWriter(f, container.StreamInfo{
-		Width: spec.Width, Height: spec.Height, FPS: spec.FPS,
-		Quality: 85, GOPSize: cfgGOP, Scenecut: cfgSC,
-	})
+	// Batch encoding is a thin wrapper over a streaming Session: the file is
+	// produced by the same code path a live feed would use.
+	stats, err := sieve.EncodeStream(context.Background(), sieve.NewSynthSource(v), f,
+		sieve.WithTunedParams(sieve.EncoderParams{
+			Width: spec.Width, Height: spec.Height,
+			GOPSize: cfgGOP, Scenecut: cfgSC, MinGOP: tuner.DefaultMinGOP,
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	iCount := 0
-	for i := 0; i < v.NumFrames(); i++ {
-		ef, err := enc.Encode(v.Frame(i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if ef.Type == codec.FrameI {
-			iCount++
-		}
-		if err := w.WriteEncoded(ef); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("wrote %s: %d frames (%d I-frames, %.2f%%), gop=%d scenecut=%g\n",
-		*out, v.NumFrames(), iCount, 100*float64(iCount)/float64(v.NumFrames()), cfgGOP, cfgSC)
+		*out, stats.Frames, stats.IFrames, 100*float64(stats.IFrames)/float64(stats.Frames), cfgGOP, cfgSC)
 }
 
 func cmdTune(args []string) {

@@ -10,6 +10,7 @@
 //
 // Usage:
 //
+//	sievebench -list                   # print the known experiment names
 //	sievebench -exp all                # everything
 //	sievebench -exp all -parallel 1    # sequential reference run
 //	sievebench -exp table2 -seconds 120
@@ -35,6 +36,7 @@ func main() {
 	log.SetPrefix("sievebench: ")
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|fig3|fig4|fig5|all")
+		list     = flag.Bool("list", false, "print the known experiment names and exit")
 		dataset  = flag.String("dataset", "", "restrict fig3 to one labelled dataset")
 		seconds  = flag.Int("seconds", 0, "seconds of evaluation video per feed (default 120)")
 		train    = flag.Int("train", 0, "seconds of tuning video (default = -seconds)")
@@ -43,6 +45,18 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Print(`known experiments (-exp, comma-separated):
+  table1  dataset inventory (resolution, fps, classes, event stats)
+  table2  tuned vs default encoder configurations per labelled feed
+  table3  encoding/analysis rates measured on this host
+  fig3    accuracy vs filtering rate: SiEVE vs SIFT vs MSE
+  fig4    end-to-end throughput of the five deployments
+  fig5    per-hop data movement of the five deployments
+  all     everything above
+`)
+		return
+	}
 	opts := experiments.Opts{
 		Seconds: *seconds, TrainSeconds: *train, FPS: *fps, Parallel: *parallel,
 	}

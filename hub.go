@@ -1,0 +1,216 @@
+package sieve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sieve/internal/runner"
+)
+
+// HubOption configures a Hub.
+type HubOption func(*Hub)
+
+// WithWorkers bounds how many feeds run concurrently (default GOMAXPROCS).
+func WithWorkers(n int) HubOption {
+	return func(h *Hub) { h.pool = runner.New(n) }
+}
+
+// WithHubBuffer sets the merged event channel capacity (default 256).
+func WithHubBuffer(n int) HubOption {
+	return func(h *Hub) {
+		if n > 0 {
+			h.bufSize = n
+		}
+	}
+}
+
+// FeedStats is one feed's counters plus its terminal error, if any.
+type FeedStats struct {
+	SessionStats
+	// Err is the feed's terminal error message ("" while running or on
+	// success).
+	Err string
+}
+
+// HubStats aggregates a snapshot across feeds.
+type HubStats struct {
+	// Feeds lists per-feed stats in Add order.
+	Feeds []FeedStats
+	// Frames/IFrames/Detections/PayloadBytes are the cross-feed totals.
+	Frames       int
+	IFrames      int
+	Detections   int
+	PayloadBytes int64
+}
+
+// FilterRate is the aggregate share of frames dropped across all feeds.
+func (st HubStats) FilterRate() float64 {
+	if st.Frames == 0 {
+		return 0
+	}
+	return 1 - float64(st.IFrames)/float64(st.Frames)
+}
+
+// Hub multiplexes N concurrent sessions over the internal worker pool with
+// per-feed isolation: one feed's failure cancels only that feed, the others
+// run to completion, and Run returns the joined per-feed errors. Events from
+// all feeds are merged onto one channel, each tagged with its feed name.
+//
+// Usage: Add feeds, consume Events concurrently, call Run, then Snapshot.
+type Hub struct {
+	pool    *runner.Pool
+	bufSize int
+
+	mu      sync.Mutex
+	feeds   []*hubFeed
+	started bool
+	events  chan Event
+}
+
+type hubFeed struct {
+	name string
+	sess *Session
+	err  error
+	done bool
+}
+
+// NewHub returns an empty hub.
+func NewHub(opts ...HubOption) *Hub {
+	h := &Hub{pool: runner.New(0), bufSize: 256}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.events = make(chan Event, h.bufSize)
+	return h
+}
+
+// Add registers a feed: a named session over src, configured like any
+// Session (the name overrides WithName). Feeds cannot be added after Run.
+func (h *Hub) Add(name string, src FrameSource, opts ...SessionOption) (*Session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.started {
+		return nil, fmt.Errorf("sieve: hub: cannot add feed %q after Run", name)
+	}
+	for _, f := range h.feeds {
+		if f.name == name {
+			return nil, fmt.Errorf("sieve: hub: duplicate feed %q", name)
+		}
+	}
+	opts = append(opts[:len(opts):len(opts)], WithName(name))
+	sess, err := NewSession(src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	h.feeds = append(h.feeds, &hubFeed{name: name, sess: sess})
+	return sess, nil
+}
+
+// Events returns the merged event stream, closed when Run returns.
+func (h *Hub) Events() <-chan Event { return h.events }
+
+// Run executes every feed's session over the worker pool and blocks until
+// all complete. A feed error cancels that feed only; Run returns the joined
+// feed errors (nil when every feed succeeded). Cancelling ctx stops all
+// feeds. Run may be called once.
+func (h *Hub) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.mu.Lock()
+	if h.started {
+		h.mu.Unlock()
+		return errors.New("sieve: hub: already run")
+	}
+	h.started = true
+	feeds := append([]*hubFeed(nil), h.feeds...)
+	h.mu.Unlock()
+	if len(feeds) == 0 {
+		close(h.events)
+		return errors.New("sieve: hub: no feeds")
+	}
+
+	// Forward each session's events onto the merged channel.
+	var fwd sync.WaitGroup
+	for _, f := range feeds {
+		fwd.Add(1)
+		go func(f *hubFeed) {
+			defer fwd.Done()
+			for ev := range f.sess.Events() {
+				select {
+				case h.events <- ev:
+				case <-ctx.Done():
+					// Sessions unblock themselves on cancellation; just
+					// drain so their channels can close.
+					for range f.sess.Events() {
+					}
+					return
+				}
+			}
+		}(f)
+	}
+
+	// Feed errors travel as values so the pool's first-error cancellation
+	// never couples one feed's failure to its siblings (a failing session
+	// simply returns; its source and goroutines are its own to unwind).
+	_, mapErr := runner.Map(ctx, h.pool, len(feeds), func(ctx context.Context, i int) (struct{}, error) {
+		err := feeds[i].sess.Run(ctx)
+		h.mu.Lock()
+		feeds[i].err = err
+		feeds[i].done = true
+		h.mu.Unlock()
+		return struct{}{}, nil
+	})
+	// Feeds the pool never started (parent cancellation) still must close
+	// their event channels so the forwarders terminate.
+	for _, f := range feeds {
+		h.mu.Lock()
+		done := f.done
+		h.mu.Unlock()
+		if !done {
+			f.sess.abort()
+			h.mu.Lock()
+			f.err = ctx.Err()
+			f.done = true
+			h.mu.Unlock()
+		}
+	}
+	fwd.Wait()
+	close(h.events)
+
+	errs := make([]error, 0, len(feeds)+1)
+	if mapErr != nil {
+		errs = append(errs, mapErr)
+	}
+	for _, f := range feeds {
+		if f.err != nil {
+			errs = append(errs, fmt.Errorf("feed %s: %w", f.name, f.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Snapshot reports per-feed and aggregate counters; safe to call while Run
+// is in flight.
+func (h *Hub) Snapshot() HubStats {
+	h.mu.Lock()
+	feeds := append([]*hubFeed(nil), h.feeds...)
+	h.mu.Unlock()
+	st := HubStats{Feeds: make([]FeedStats, 0, len(feeds))}
+	for _, f := range feeds {
+		fs := FeedStats{SessionStats: f.sess.Stats()}
+		h.mu.Lock()
+		if f.err != nil {
+			fs.Err = f.err.Error()
+		}
+		h.mu.Unlock()
+		st.Feeds = append(st.Feeds, fs)
+		st.Frames += fs.Frames
+		st.IFrames += fs.IFrames
+		st.Detections += fs.Detections
+		st.PayloadBytes += fs.PayloadBytes
+	}
+	return st
+}

@@ -28,6 +28,19 @@ type Orchestrator struct {
 	sites   map[string]*Site
 	bridges []*bridge
 	started bool
+	// runCtx is the Run context; bridge egress selects on it so a producer
+	// blocked on a full bridge queue cannot outlive a cancelled run.
+	runCtx context.Context
+}
+
+// runContext returns the active Run context (Background before Run).
+func (o *Orchestrator) runContext() context.Context {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.runCtx != nil {
+		return o.runCtx
+	}
+	return context.Background()
 }
 
 // bridge forwards FlowFiles from a port on one site into a relay processor
@@ -98,11 +111,18 @@ func (o *Orchestrator) Bridge(fromSite, fromNode, fromPort, toSite, toNode strin
 		queue: make(chan *dataflow.FlowFile, 64),
 	}
 	// Egress: a sink processor on the source engine that sends into the
-	// bridge queue (paying the link cost).
+	// bridge queue (paying the link cost). The send must give up on run
+	// cancellation: with the destination site stopped and the queue full, an
+	// unconditional send would wedge the source engine — and Run — forever.
 	egress := dataflow.ProcessorFunc(func(f *dataflow.FlowFile, _ dataflow.Emitter) error {
 		b.link.Send(int64(len(f.Content)))
-		b.queue <- f
-		return nil
+		ctx := o.runContext()
+		select {
+		case b.queue <- f:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("deploy: bridge %s: %w", b.relayName, ctx.Err())
+		}
 	})
 	egressName := b.relayName + ":egress"
 	if err := from.Engine.AddProcessor(egressName, egress); err != nil {
@@ -140,6 +160,7 @@ func (o *Orchestrator) Run(ctx context.Context) error {
 		return fmt.Errorf("deploy: already run")
 	}
 	o.started = true
+	o.runCtx = ctx
 	sites := make([]*Site, 0, len(o.sites))
 	for _, s := range o.sites {
 		sites = append(sites, s)

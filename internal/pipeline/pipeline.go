@@ -61,11 +61,14 @@ type AssetOpts struct {
 	Seconds, FPS int
 	// TrainSeconds scales the tuning split (default = Seconds).
 	TrainSeconds int
-	// Quality is the encoder quality (default 85).
+	// Quality is the encoder quality in [1,100]; 0 selects the default 85.
+	// The lowest expressible quality is therefore 1 (the codec's floor);
+	// anything else out of range is rejected by PrepareAsset rather than
+	// silently rewritten.
 	Quality int
 }
 
-func (o *AssetOpts) fill() {
+func (o *AssetOpts) fill() error {
 	if o.Seconds <= 0 {
 		o.Seconds = 30
 	}
@@ -78,6 +81,10 @@ func (o *AssetOpts) fill() {
 	if o.Quality == 0 {
 		o.Quality = 85
 	}
+	if o.Quality < 1 || o.Quality > 100 {
+		return fmt.Errorf("pipeline: quality %d out of [1,100] (0 selects the default 85)", o.Quality)
+	}
+	return nil
 }
 
 // VideoAsset is one prepared camera feed.
@@ -121,7 +128,9 @@ func PrepareAsset(ctx context.Context, name synth.PresetName, opts AssetOpts) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts.fill()
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
 	test, err := synth.Preset(name, synth.PresetOpts{Seconds: opts.Seconds, FPS: opts.FPS})
 	if err != nil {
 		return nil, err
@@ -257,14 +266,9 @@ func (a *VideoAsset) analyzeBaselines(ctx context.Context, v *synth.Video, opts 
 	}
 	mse := vision.NewMSE()
 	scores := make([]float64, a.NumFrames)
-	decoded := make([]*frame.YUV, 0) // only sampled frames retained
 	uniformSet := make(map[int]bool, len(a.IFrames))
 	for _, idx := range vision.UniformIndices(a.NumFrames, sampleShare(len(a.IFrames), a.NumFrames)) {
 		uniformSet[idx] = true
-	}
-	if !labelled {
-		// Match the fixed I-frame rate on unlabelled feeds.
-		mseThreshold = 0 // placeholder; set after scoring below
 	}
 	a.UniformSamples = make(map[int]int)
 	a.MSESamples = make(map[int]int)
@@ -319,7 +323,6 @@ func (a *VideoAsset) analyzeBaselines(ctx context.Context, v *synth.Video, opts 
 			}
 		}
 	}
-	_ = decoded
 	return nil
 }
 

@@ -280,3 +280,27 @@ func TestIFrameTypesConsistent(t *testing.T) {
 		}
 	}
 }
+
+func TestAssetOptsQualityValidation(t *testing.T) {
+	// 0 selects the default.
+	o := AssetOpts{}
+	if err := o.fill(); err != nil || o.Quality != 85 {
+		t.Fatalf("fill() = %v, quality %d; want nil, 85", err, o.Quality)
+	}
+	// The codec floor (1) must be expressible — an explicit lowest-quality
+	// request may not be silently rewritten.
+	o = AssetOpts{Quality: 1}
+	if err := o.fill(); err != nil || o.Quality != 1 {
+		t.Fatalf("fill() = %v, quality %d; want nil, 1", err, o.Quality)
+	}
+	for _, q := range []int{-3, 101} {
+		o = AssetOpts{Quality: q}
+		if err := o.fill(); err == nil {
+			t.Fatalf("quality %d accepted", q)
+		}
+	}
+	// PrepareAsset rejects out-of-range quality before doing any work.
+	if _, err := PrepareAsset(context.Background(), synth.JacksonSquare, AssetOpts{Quality: -1}); err == nil {
+		t.Fatal("PrepareAsset accepted quality -1")
+	}
+}

@@ -154,19 +154,38 @@ func (v *Video) Spec() Spec { return v.spec }
 // NumFrames returns the stream length in frames.
 func (v *Video) NumFrames() int { return v.spec.NumFrames }
 
-// Frame renders frame i (deterministically).
+// Frame renders frame i (deterministically) into a freshly allocated frame.
 func (v *Video) Frame(i int) *frame.YUV {
-	f := v.bg.Clone()
-	v.renderClutter(f, i)
+	return v.RenderInto(i, nil)
+}
+
+// RenderInto renders frame i into dst and returns it, allocating a new frame
+// only when dst is nil or has the wrong geometry. Streaming consumers call it
+// with the previous frame to render an arbitrarily long feed with a single
+// frame buffer instead of materialising (or allocating) the whole video.
+func (v *Video) RenderInto(i int, dst *frame.YUV) *frame.YUV {
+	if dst == nil || dst.W != v.spec.Width || dst.H != v.spec.Height {
+		dst = frame.NewYUV(v.spec.Width, v.spec.Height)
+	}
+	copyPlane(dst.Y, v.bg.Y)
+	copyPlane(dst.Cb, v.bg.Cb)
+	copyPlane(dst.Cr, v.bg.Cr)
+	v.renderClutter(dst, i)
 	for oi := range v.spec.Objects {
 		o := &v.spec.Objects[oi]
 		if i >= o.Enter && i < o.Exit {
-			renderObject(f, v.spec, o, i)
+			renderObject(dst, v.spec, o, i)
 		}
 	}
-	v.applyFlicker(f, i)
-	v.applyNoise(f, i)
-	return f
+	v.applyFlicker(dst, i)
+	v.applyNoise(dst, i)
+	return dst
+}
+
+func copyPlane(dst, src *frame.Plane) {
+	for y := 0; y < src.H; y++ {
+		copy(dst.Row(y), src.Row(y))
+	}
 }
 
 // Labels returns the ground-truth label set of frame i.

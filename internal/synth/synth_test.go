@@ -320,3 +320,36 @@ func BenchmarkRenderFrameJackson(b *testing.B) {
 		v.Frame(i % v.NumFrames())
 	}
 }
+
+func TestRenderIntoReusesBufferExactly(t *testing.T) {
+	v, err := Preset(JacksonSquare, PresetOpts{Seconds: 1, FPS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf *frame.YUV
+	for i := 0; i < v.NumFrames(); i++ {
+		buf = v.RenderInto(i, buf)
+		if !buf.Equal(v.Frame(i)) {
+			t.Fatalf("RenderInto frame %d differs from Frame(%d)", i, i)
+		}
+	}
+	// Wrong-geometry buffers are replaced, not written through.
+	small := frame.NewYUV(16, 16)
+	out := v.RenderInto(0, small)
+	if out == small || out.W != v.Spec().Width {
+		t.Fatalf("RenderInto should allocate on geometry mismatch")
+	}
+}
+
+func BenchmarkRenderIntoJackson(b *testing.B) {
+	v, err := Preset(JacksonSquare, PresetOpts{Seconds: 10, FPS: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf *frame.YUV
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = v.RenderInto(i%v.NumFrames(), buf)
+	}
+}

@@ -1,0 +1,402 @@
+package sieve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"sieve/internal/codec"
+	"sieve/internal/container"
+)
+
+// EventKind discriminates the typed events a Session emits.
+type EventKind uint8
+
+const (
+	// EventFrameEncoded fires for every frame the semantic encoder accepts.
+	EventFrameEncoded EventKind = iota
+	// EventIFrame fires when the encoder places an I-frame — the paper's
+	// "candidate event" signal the seeker later filters on.
+	EventIFrame
+	// EventDetection fires when the session's detector has labelled an
+	// I-frame.
+	EventDetection
+	// EventStats carries a SessionStats snapshot: periodic when
+	// WithStatsEvery is set, and always once as the final event.
+	EventStats
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventFrameEncoded:
+		return "frame"
+	case EventIFrame:
+		return "iframe"
+	case EventDetection:
+		return "detection"
+	case EventStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one item on a session's event stream. Within a feed, Seq orders
+// events totally; across feeds of a Hub the interleaving follows scheduling,
+// so durable logs should be keyed by (Feed, Seq).
+type Event struct {
+	// Feed is the emitting session's name.
+	Feed string
+	// Seq is the per-feed sequence number, starting at 0.
+	Seq int
+	// Kind discriminates which of the remaining fields are meaningful.
+	Kind EventKind
+	// Time is the session clock's timestamp (deterministic under a
+	// VirtualClock).
+	Time time.Time
+	// Frame is the stream frame index the event refers to.
+	Frame int
+	// FrameType is the encoded frame's type (EventFrameEncoded/EventIFrame).
+	FrameType FrameType
+	// Bytes is the encoded payload size (EventFrameEncoded/EventIFrame).
+	Bytes int
+	// Labels is the detector's label set (EventDetection).
+	Labels LabelSet
+	// Stats is a counters snapshot (EventStats).
+	Stats SessionStats
+}
+
+// String renders a stable, human-readable log line. With a VirtualClock and
+// a fixed seed the rendered event log is byte-identical run to run.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s #%d %s t=%s", e.Feed, e.Seq, e.Kind, e.Time.UTC().Format("15:04:05.000"))
+	switch e.Kind {
+	case EventFrameEncoded, EventIFrame:
+		fmt.Fprintf(&b, " frame=%d type=%s bytes=%d", e.Frame, e.FrameType, e.Bytes)
+	case EventDetection:
+		fmt.Fprintf(&b, " frame=%d labels=%s", e.Frame, e.Labels.Key())
+	case EventStats:
+		fmt.Fprintf(&b, " frames=%d iframes=%d bytes=%d filter=%.4f",
+			e.Stats.Frames, e.Stats.IFrames, e.Stats.PayloadBytes, e.Stats.FilterRate())
+	}
+	return b.String()
+}
+
+// SessionStats are a session's monotonic counters.
+type SessionStats struct {
+	// Feed is the session name.
+	Feed string
+	// Frames is the number of frames encoded so far.
+	Frames int
+	// IFrames is how many of them were I-frames.
+	IFrames int
+	// PayloadBytes is the encoded stream payload size so far.
+	PayloadBytes int64
+	// Detections counts detector invocations (one per I-frame when a
+	// detector is configured).
+	Detections int
+}
+
+// FilterRate is the share of frames the I-frame seeker would drop without
+// decoding — the streaming counterpart of IFrameSeeker.FilterRate, and equal
+// to it on the session's own stream.
+func (s SessionStats) FilterRate() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return 1 - float64(s.IFrames)/float64(s.Frames)
+}
+
+// SessionOption configures a Session (functional options).
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	name       string
+	params     *EncoderParams
+	quality    int
+	det        *Detector
+	clock      Clock
+	sink       io.WriteSeeker
+	statsEvery int
+	eventBuf   int
+}
+
+// WithName names the session's feed (defaults to the source's name).
+func WithName(name string) SessionOption {
+	return func(c *sessionConfig) { c.name = name }
+}
+
+// WithTunedParams sets the full encoder parameters, typically from
+// TunedParams after an offline Tune run. Width/Height must match the source.
+func WithTunedParams(p EncoderParams) SessionOption {
+	return func(c *sessionConfig) { c.params = &p }
+}
+
+// WithQuality overrides the encoder quality in [1,100] (default 85).
+func WithQuality(q int) SessionOption {
+	return func(c *sessionConfig) { c.quality = q }
+}
+
+// WithDetector runs d on every I-frame (decoded from its own payload, like
+// the edge does) and emits EventDetection events.
+func WithDetector(d *Detector) SessionOption {
+	return func(c *sessionConfig) { c.det = d }
+}
+
+// WithClock injects the session clock used for event timestamps (default
+// the wall clock). Pair with a paced ReplaySource sharing the same
+// VirtualClock for deterministic, instant replays.
+func WithClock(clk Clock) SessionOption {
+	return func(c *sessionConfig) { c.clock = clk }
+}
+
+// WithSink persists the encoded SVF stream to ws (an *os.File, a
+// container.Buffer, ...). Without it the session encodes into an internal
+// buffer exposed by Stream.
+func WithSink(ws io.WriteSeeker) SessionOption {
+	return func(c *sessionConfig) { c.sink = ws }
+}
+
+// WithStatsEvery emits an EventStats snapshot every n encoded frames
+// (default: only the final snapshot).
+func WithStatsEvery(n int) SessionOption {
+	return func(c *sessionConfig) { c.statsEvery = n }
+}
+
+// Session consumes one FrameSource incrementally through the semantic
+// encoder and emits typed Events on a channel. Create with NewSession,
+// consume Events while Run executes, inspect Stats/Stream afterwards.
+//
+// A session is single-producer: Run encodes frames strictly in source order
+// on one goroutine, so with a deterministic source and a VirtualClock the
+// event sequence is byte-identical run to run (the acceptance bar for
+// reproducible streaming evaluations).
+type Session struct {
+	src    FrameSource
+	cfg    sessionConfig
+	enc    *SemanticEncoder
+	buf    *container.Buffer // non-nil when no external sink was given
+	events chan Event
+
+	mu       sync.Mutex
+	stats    SessionStats
+	ran      bool
+	finished bool // stream index finalised (Run completed successfully)
+	seq      int
+}
+
+// NewSession builds a session over src. The encoder geometry defaults to
+// the source's, with the paper's default parameters unless WithTunedParams
+// or WithQuality override them.
+func NewSession(src FrameSource, opts ...SessionOption) (*Session, error) {
+	if src == nil {
+		return nil, errors.New("sieve: nil frame source")
+	}
+	info := src.Info()
+	cfg := sessionConfig{eventBuf: 64}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.name == "" {
+		cfg.name = info.Name
+	}
+	if cfg.clock == nil {
+		cfg.clock = RealClock()
+	}
+	params := DefaultParams(info.Width, info.Height)
+	if cfg.params != nil {
+		params = *cfg.params
+	}
+	if cfg.quality != 0 {
+		params.Quality = cfg.quality
+	}
+	if params.Width != info.Width || params.Height != info.Height {
+		return nil, fmt.Errorf("sieve: session %s: params %dx%d do not match source %dx%d",
+			cfg.name, params.Width, params.Height, info.Width, info.Height)
+	}
+	s := &Session{src: src, cfg: cfg, events: make(chan Event, cfg.eventBuf)}
+	s.stats.Feed = cfg.name
+	sink := cfg.sink
+	if sink == nil {
+		s.buf = &container.Buffer{}
+		sink = s.buf
+	}
+	fps := info.FPS
+	if fps <= 0 {
+		fps = 1
+	}
+	enc, err := NewSemanticEncoder(sink, params, fps)
+	if err != nil {
+		return nil, fmt.Errorf("sieve: session %s: %w", cfg.name, err)
+	}
+	s.enc = enc
+	return s, nil
+}
+
+// Name returns the session's feed name.
+func (s *Session) Name() string { return s.cfg.name }
+
+// Events returns the session's event stream. It is closed when Run returns.
+func (s *Session) Events() <-chan Event { return s.events }
+
+// Stats returns a counters snapshot; safe to call concurrently with Run.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Stream opens a reader over the encoded stream. Only available after Run
+// has completed successfully (the index is finalised then — while Run is in
+// flight the buffer is still being written), and only when the session
+// encoded into its internal buffer (no WithSink).
+func (s *Session) Stream() (*container.Reader, error) {
+	s.mu.Lock()
+	finished := s.finished
+	s.mu.Unlock()
+	if !finished {
+		return nil, fmt.Errorf("sieve: session %s: Stream before Run completed", s.cfg.name)
+	}
+	if s.buf == nil {
+		return nil, fmt.Errorf("sieve: session %s: stream was written to an external sink", s.cfg.name)
+	}
+	return OpenStream(s.buf, s.buf.Size())
+}
+
+// Run pulls frames from the source until io.EOF, encoding each and emitting
+// events, then finalises the stream index and emits a final EventStats. It
+// closes Events on return. Run may be called once.
+func (s *Session) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.ran {
+		s.mu.Unlock()
+		return fmt.Errorf("sieve: session %s: already run", s.cfg.name)
+	}
+	s.ran = true
+	s.mu.Unlock()
+	defer close(s.events)
+
+	for {
+		f, err := s.src.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("sieve: session %s: source: %w", s.cfg.name, err)
+		}
+		ef, err := s.enc.Encode(f)
+		if err != nil {
+			return fmt.Errorf("sieve: session %s: %w", s.cfg.name, err)
+		}
+		s.mu.Lock()
+		s.stats.Frames++
+		s.stats.PayloadBytes += int64(len(ef.Data))
+		if ef.Type == FrameI {
+			s.stats.IFrames++
+		}
+		frames := s.stats.Frames
+		s.mu.Unlock()
+
+		ev := Event{Kind: EventFrameEncoded, Frame: ef.Number, FrameType: ef.Type, Bytes: len(ef.Data)}
+		if !s.emit(ctx, ev) {
+			return ctx.Err()
+		}
+		if ef.Type == FrameI {
+			ev.Kind = EventIFrame
+			if !s.emit(ctx, ev) {
+				return ctx.Err()
+			}
+			if s.cfg.det != nil {
+				img, err := codec.DecodeIFrame(s.enc.Params(), ef.Data)
+				if err != nil {
+					return fmt.Errorf("sieve: session %s: decoding own I-frame %d: %w",
+						s.cfg.name, ef.Number, err)
+				}
+				set := s.cfg.det.FrameLabels(img)
+				s.mu.Lock()
+				s.stats.Detections++
+				s.mu.Unlock()
+				if !s.emit(ctx, Event{Kind: EventDetection, Frame: ef.Number, Labels: set}) {
+					return ctx.Err()
+				}
+			}
+		}
+		if s.cfg.statsEvery > 0 && frames%s.cfg.statsEvery == 0 {
+			if !s.emit(ctx, Event{Kind: EventStats, Frame: ef.Number, Stats: s.Stats()}) {
+				return ctx.Err()
+			}
+		}
+	}
+	if err := s.enc.Close(); err != nil {
+		return fmt.Errorf("sieve: session %s: closing stream: %w", s.cfg.name, err)
+	}
+	s.mu.Lock()
+	s.finished = true
+	s.mu.Unlock()
+	last := s.Stats().Frames - 1
+	if !s.emit(ctx, Event{Kind: EventStats, Frame: last, Stats: s.Stats()}) {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// emit sends one event, honouring cancellation so a stalled consumer cannot
+// wedge the session past its context.
+func (s *Session) emit(ctx context.Context, ev Event) bool {
+	ev.Feed = s.cfg.name
+	ev.Time = s.cfg.clock.Now()
+	s.mu.Lock()
+	ev.Seq = s.seq
+	s.seq++
+	s.mu.Unlock()
+	select {
+	case s.events <- ev:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// abort closes the event stream of a session that will never run (a Hub
+// feed skipped by cancellation). No-op if Run already started.
+func (s *Session) abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ran {
+		return
+	}
+	s.ran = true
+	close(s.events)
+}
+
+// EncodeStream is the batch entry point, now a thin wrapper over Session:
+// it drains src through a session writing the SVF stream to ws and returns
+// the final stats. One code path serves both batch and streaming.
+func EncodeStream(ctx context.Context, src FrameSource, ws io.WriteSeeker, opts ...SessionOption) (SessionStats, error) {
+	if ws == nil {
+		return SessionStats{}, errors.New("sieve: nil sink")
+	}
+	opts = append(opts[:len(opts):len(opts)], WithSink(ws))
+	sess, err := NewSession(src, opts...)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sess.Events() {
+		}
+	}()
+	err = sess.Run(ctx)
+	<-done
+	return sess.Stats(), err
+}

@@ -2,6 +2,12 @@
 // video encoding for edge/cloud video analytics (Elgamal et al., ICDCS
 // 2020). It re-exports the stable surface of the internal packages:
 //
+//   - FrameSource / Session / Hub: the streaming-first API — pull-based
+//     frame sources (synthetic presets, SVF replay, programmatic push)
+//     consumed incrementally through the encoder + seeker, emitting typed
+//     Events; a Hub multiplexes many concurrent feeds with per-feed
+//     isolation. Batch helpers (EncodeStream) are thin wrappers over a
+//     Session, so live and recorded traffic share one code path.
 //   - SemanticEncoder / Decoder: the tunable video codec (scenecut + GOP).
 //   - IFrameSeeker: I-frame extraction from stream metadata, no decoding.
 //   - Tune: the offline parameter sweep producing per-camera configs.
@@ -98,6 +104,9 @@ func (e *SemanticEncoder) Encode(f *Frame) (*EncodedFrame, error) {
 
 // Close finalises the stream index.
 func (e *SemanticEncoder) Close() error { return e.w.Close() }
+
+// Params returns the encoder's normalised parameters.
+func (e *SemanticEncoder) Params() EncoderParams { return e.enc.Params() }
 
 // OpenStream parses an SVF stream for reading and seeking.
 func OpenStream(ra io.ReaderAt, size int64) (*container.Reader, error) {
