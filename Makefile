@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-full fmt vet lint ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-full fmt vet lint ci
 
 all: build
 
@@ -49,6 +49,17 @@ test-short:
 # One-iteration smoke run: benchmarks must still compile and complete.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# Codec hot-path micro-benchmarks (steady-state encode/decode/analyze and
+# the bounded SAD). -benchmem: allocs/op must read 0 for the *Into paths —
+# on this 1-core box that, not ns/op, is the regression signal. CI runs the
+# same selection with -benchtime=1x so the hot path cannot silently stop
+# compiling as a benchmark.
+bench-codec:
+	$(GO) test -run='^$$' -bench='^(BenchmarkEncodeP|BenchmarkDecodeInto|BenchmarkAnalyze|BenchmarkSADBounded)' -benchmem ./internal/codec/
+
+bench-codec-smoke:
+	$(GO) test -run='^$$' -bench='^(BenchmarkEncodeP|BenchmarkDecodeInto|BenchmarkAnalyze|BenchmarkSADBounded)' -benchtime=1x -benchmem ./internal/codec/
 
 # The full benchmark suite doubles as the experiment record (see
 # bench_test.go); this regenerates every paper figure and table.

@@ -173,6 +173,7 @@ func BenchmarkAblationTunerReplay(b *testing.B) {
 	v := benchClip(b, 300)
 	track := v.Track()
 	b.Run("replay", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			costs := tuner.AnalyzeCosts(v)
 			_, best := tuner.RunSweep(costs, track, tuner.DefaultSweep(), tuner.DefaultMinGOP)
@@ -180,6 +181,7 @@ func BenchmarkAblationTunerReplay(b *testing.B) {
 		}
 	})
 	b.Run("full-encode", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			bestF1 := -1.0
 			for _, cfg := range tuner.DefaultSweep().Configs() {
@@ -204,6 +206,7 @@ func BenchmarkAblationSeekVsDecode(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("seek", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			n := 0
 			a.Semantic.ScanMeta(func(m container.FrameMeta) bool {
@@ -215,8 +218,11 @@ func BenchmarkAblationSeekVsDecode(b *testing.B) {
 		}
 	})
 	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		info := a.Default.Info()
+		img := frame.NewYUV(info.Width, info.Height)
 		for i := 0; i < b.N; i++ {
-			dec, err := codec.NewDecoder(a.Default.Info().CodecParams())
+			dec, err := codec.NewDecoder(info.CodecParams())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -225,7 +231,7 @@ func BenchmarkAblationSeekVsDecode(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := dec.Decode(payload); err != nil {
+				if err := dec.DecodeInto(payload, img); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -246,6 +252,7 @@ func BenchmarkAblationMotionSearch(b *testing.B) {
 		search codec.MotionSearch
 	}{{"diamond", codec.SearchDiamond}, {"full", codec.SearchFull}} {
 		b.Run(method.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				enc, err := codec.NewEncoder(codec.Params{
 					Width: 160, Height: 120, GOPSize: 1000, Scenecut: 0,
@@ -274,6 +281,7 @@ func BenchmarkAblationScenecutCost(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("motion-compensated", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			an := codec.NewCostAnalyzer()
 			var quietMax int64
@@ -287,6 +295,7 @@ func BenchmarkAblationScenecutCost(b *testing.B) {
 		}
 	})
 	b.Run("raw-difference", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var prev *frame.YUV
 			var quietMax int64

@@ -130,6 +130,15 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
+// Reset repoints the reader at buf and rewinds it, reusing the Reader value
+// (the codec's decode hot path resets one reader per frame instead of
+// allocating one).
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.n = 0
+}
+
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint64, error) {
 	return r.ReadBits(1)

@@ -1,0 +1,181 @@
+package codec
+
+import (
+	"testing"
+
+	"sieve/internal/frame"
+)
+
+// The codec's steady-state hot path must not allocate: on a 1-core edge box
+// wall-clock benchmarks are too noisy to gate on, but allocs/op is exact and
+// deterministic, so these tests are the enforceable form of "the hot path
+// got faster and stays that way". Warm-up calls let one-time buffers
+// (bitstream writer capacity, analyzer half-res planes, ef.Data) reach their
+// steady-state capacity first.
+
+func TestEncodeIntoSteadyStateZeroAlloc(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 1 << 20, Scenecut: 0}
+	frames := testVideo(64, 48, 4, 1, 21)
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ef EncodedFrame
+	for _, f := range frames {
+		if err := enc.EncodeInto(f, &ef); err != nil {
+			t.Fatal(err)
+		}
+		if ef.Type != FrameI && ef.Type != FrameP {
+			t.Fatalf("unexpected frame type %v", ef.Type)
+		}
+	}
+	f := frames[len(frames)-1]
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := enc.EncodeInto(f, &ef); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state P-frame EncodeInto: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeIntoSteadyStateZeroAlloc(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 1 << 20, Scenecut: 0}
+	frames := testVideo(64, 48, 3, 1, 22)
+	encoded := encodeAll(t, p, frames)
+	if encoded[2].Type != FrameP {
+		t.Fatalf("frame 2 is %v, want P", encoded[2].Type)
+	}
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := frame.NewYUV(64, 48)
+	for _, ef := range encoded {
+		if err := dec.DecodeInto(ef.Data, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-decoding the same P payload against the rolling reference is not a
+	// valid stream, but it exercises exactly the steady-state work profile.
+	data := encoded[2].Data
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := dec.DecodeInto(data, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state P-frame DecodeInto: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestAnalyzeSteadyStateZeroAlloc(t *testing.T) {
+	frames := testVideo(64, 48, 3, 1, 23)
+	an := NewCostAnalyzer()
+	for _, f := range frames {
+		an.Analyze(f)
+	}
+	f := frames[len(frames)-1]
+	allocs := testing.AllocsPerRun(50, func() {
+		an.Analyze(f)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Analyze: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecodeIntoMatchesDecode pins the wrapper equivalence: DecodeInto into
+// a reused frame yields exactly what the allocating Decode returns, and a
+// caller mutating the output frame between calls cannot corrupt the
+// decoder's reference state.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 6, Scenecut: 120}
+	frames := testVideo(64, 48, 14, 4, 24)
+	encoded := encodeAll(t, p, frames)
+
+	ref, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	into, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := frame.NewYUV(64, 48)
+	for i, ef := range encoded {
+		want, err := ref.Decode(ef.Data)
+		if err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if err := into.DecodeInto(ef.Data, out); err != nil {
+			t.Fatalf("DecodeInto %d: %v", i, err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("frame %d: DecodeInto differs from Decode", i)
+		}
+		// Scribble over the caller-owned frame; the decoder must not care.
+		out.Fill(0, 0, 0)
+	}
+}
+
+func TestDecodeIntoRejectsBadGeometry(t *testing.T) {
+	p := Params{Width: 64, Height: 48, GOPSize: 10, Scenecut: 0}
+	frames := testVideo(64, 48, 1, 0, 25)
+	encoded := encodeAll(t, p, frames)
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeInto(encoded[0].Data, frame.NewYUV(32, 32)); err == nil {
+		t.Fatal("mismatched output geometry should fail")
+	}
+	if err := dec.DecodeInto(encoded[0].Data, nil); err == nil {
+		t.Fatal("nil output frame should fail")
+	}
+}
+
+// TestDecodeIntoCorruptKeepsReference verifies the swap-on-success rule: a
+// failed decode leaves the previous reference intact, so the stream can
+// continue from the next good payload.
+func TestDecodeIntoCorruptKeepsReference(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 1 << 20, Scenecut: 0}
+	frames := testVideo(64, 48, 4, 1, 26)
+	encoded := encodeAll(t, p, frames)
+
+	ref, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := frame.NewYUV(64, 48)
+	want := frame.NewYUV(64, 48)
+	for i := 0; i < 2; i++ {
+		if err := ref.DecodeInto(encoded[i].Data, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeInto(encoded[i].Data, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A truncated P-frame payload must fail without advancing the reference.
+	bad := encoded[2].Data[:1]
+	if err := dec.DecodeInto(bad, out); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+	// Frames 2 and 3 must still decode identically to the clean decoder.
+	for i := 2; i < 4; i++ {
+		if err := ref.DecodeInto(encoded[i].Data, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeInto(encoded[i].Data, out); err != nil {
+			t.Fatalf("decode %d after corrupt payload: %v", i, err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("frame %d differs after mid-stream corrupt payload", i)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package codec
 
-import "sieve/internal/frame"
+import (
+	"fmt"
+
+	"sieve/internal/frame"
+)
 
 // CostAnalyzer computes the per-frame intra/inter costs that drive the
 // scenecut decision. Like x264's lookahead it works on half-resolution
@@ -8,15 +12,20 @@ import "sieve/internal/frame"
 // content — not on quantisation or on where previous I-frames were placed.
 // That independence is what lets the offline tuner replay I-frame placement
 // for every parameter configuration from one analysis pass.
+// The analyzer owns two half-res planes and ping-pongs between them — the
+// current downsample target and the previous frame's — so steady-state
+// Analyze allocates nothing.
 type CostAnalyzer struct {
-	prev *frame.Plane
+	prev *frame.Plane // last frame's half-res luma (one of half), nil = no history
+	half [2]*frame.Plane
+	cur  int // index in half to downsample the next frame into
 }
 
 // NewCostAnalyzer returns an analyzer with no history; the first Analyze
 // call reports Inter == Intra (frame 0 has no reference).
 func NewCostAnalyzer() *CostAnalyzer { return &CostAnalyzer{} }
 
-// Reset drops the reference history.
+// Reset drops the reference history (the buffers are kept for reuse).
 func (a *CostAnalyzer) Reset() { a.prev = nil }
 
 // analysisBlock is the block size used on the half-res plane (8 px there
@@ -27,19 +36,28 @@ const analysisBlock = 8
 const analysisRange = 8
 
 // Analyze consumes the next original frame and returns its decision costs.
+// Steady state (fixed geometry) reuses the analyzer's two half-res buffers.
 func (a *CostAnalyzer) Analyze(f *frame.YUV) Cost {
-	half := Downsample2x(f.Y)
+	w, h := halfDims(f.Y)
+	if a.half[0] == nil || a.half[0].W != w || a.half[0].H != h {
+		a.half[0] = frame.NewPlane(w, h)
+		a.half[1] = frame.NewPlane(w, h)
+		a.prev = nil
+		a.cur = 0
+	}
+	half := a.half[a.cur]
+	Downsample2xInto(half, f.Y)
 	intra := intraCost(half)
 	inter := intra
 	if a.prev != nil {
 		inter = interCost(half, a.prev)
 	}
 	a.prev = half
+	a.cur = 1 - a.cur
 	return Cost{Intra: intra, Inter: inter}
 }
 
-// Downsample2x box-filters a plane to half resolution in each dimension.
-func Downsample2x(p *frame.Plane) *frame.Plane {
+func halfDims(p *frame.Plane) (int, int) {
 	w, h := p.W/2, p.H/2
 	if w < 1 {
 		w = 1
@@ -47,16 +65,43 @@ func Downsample2x(p *frame.Plane) *frame.Plane {
 	if h < 1 {
 		h = 1
 	}
+	return w, h
+}
+
+// Downsample2x box-filters a plane to half resolution in each dimension.
+func Downsample2x(p *frame.Plane) *frame.Plane {
+	w, h := halfDims(p)
 	d := frame.NewPlane(w, h)
+	Downsample2xInto(d, p)
+	return d
+}
+
+// Downsample2xInto box-filters p into the preallocated dst, which must have
+// halfDims(p) geometry. Interior rows use direct row addressing; the last
+// column/row of odd-sized planes falls back to clamped At.
+func Downsample2xInto(dst, p *frame.Plane) {
+	w, h := halfDims(p)
+	if dst.W != w || dst.H != h {
+		panic(fmt.Sprintf("codec: Downsample2xInto dst %dx%d, want %dx%d", dst.W, dst.H, w, h))
+	}
+	interior := 2*h <= p.H && 2*w <= p.W
 	for y := 0; y < h; y++ {
-		row := d.Row(y)
+		row := dst.Row(y)
+		if interior {
+			r0 := p.Pix[(2*y)*p.Stride : (2*y)*p.Stride+2*w]
+			r1 := p.Pix[(2*y+1)*p.Stride : (2*y+1)*p.Stride+2*w]
+			for x := 0; x < w; x++ {
+				s := int(r0[2*x]) + int(r0[2*x+1]) + int(r1[2*x]) + int(r1[2*x+1])
+				row[x] = byte((s + 2) / 4)
+			}
+			continue
+		}
 		for x := 0; x < w; x++ {
 			s := int(p.At(2*x, 2*y)) + int(p.At(2*x+1, 2*y)) +
 				int(p.At(2*x, 2*y+1)) + int(p.At(2*x+1, 2*y+1))
 			row[x] = byte((s + 2) / 4)
 		}
 	}
-	return d
 }
 
 // intraCost approximates the intra coding cost of a plane as the summed

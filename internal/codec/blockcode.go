@@ -12,10 +12,44 @@ import (
 // (positions 1..63 of the zig-zag scan), so 63 is unambiguous.
 const eobMarker = 63
 
+// fillPredConst fills a prediction block with the constant intra predictor.
+func fillPredConst(dst *transform.Block) {
+	for i := range dst {
+		dst[i] = intraShift
+	}
+}
+
+// fillPredMC fills a prediction block with the motion-compensated reference
+// pixels at (bx+mv.X, by+mv.Y). Interior blocks take the row-copy fast path;
+// blocks whose reference window crosses a plane edge fall back to clamped
+// addressing (the codec's border-extension rule), producing identical values.
+func fillPredMC(dst *transform.Block, ref *frame.Plane, bx, by int, mv MV) {
+	sx, sy := bx+mv.X, by+mv.Y
+	if sx >= 0 && sy >= 0 && sx+transform.BlockSize <= ref.W && sy+transform.BlockSize <= ref.H {
+		for y := 0; y < transform.BlockSize; y++ {
+			row := ref.Pix[(sy+y)*ref.Stride+sx : (sy+y)*ref.Stride+sx+transform.BlockSize]
+			d := dst[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			for x := 0; x < transform.BlockSize; x++ {
+				d[x] = int32(row[x])
+			}
+		}
+		return
+	}
+	for y := 0; y < transform.BlockSize; y++ {
+		for x := 0; x < transform.BlockSize; x++ {
+			dst[y*transform.BlockSize+x] = int32(ref.At(sx+x, sy+y))
+		}
+	}
+}
+
 // blockCoder encodes and reconstructs 8×8 blocks against a prediction
-// plane, sharing one scratch set of transform blocks across calls.
+// block, sharing one scratch set of transform blocks across calls. The
+// caller fills pred (fillPredConst / fillPredMC) before each encodeBlock —
+// a flat scratch array instead of a per-pixel callback, so the hot loop is
+// 64 array reads rather than 64 indirect calls.
 type blockCoder struct {
 	qz                 *transform.Quantizer
+	pred               transform.Block
 	src, coef, lev, zz transform.Block
 	dq, rec            transform.Block
 	dcPred             int32
@@ -29,14 +63,23 @@ func newBlockCoder(quality int) *blockCoder {
 func (bc *blockCoder) resetDC() { bc.dcPred = 0 }
 
 // encodeBlock transforms and entropy-codes the 8×8 block of plane p at
-// (bx, by) with the given per-pixel prediction, then writes the locally
-// reconstructed pixels (prediction + dequantised residual) back into recon.
-// pred supplies the prediction value for each offset; for intra blocks it is
-// the constant 128, for inter blocks the motion-compensated reference.
-func (bc *blockCoder) encodeBlock(w *bitstream.Writer, p, recon *frame.Plane, bx, by int, pred func(x, y int) int32) {
-	for y := 0; y < transform.BlockSize; y++ {
-		for x := 0; x < transform.BlockSize; x++ {
-			bc.src[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - pred(x, y)
+// (bx, by) against the prediction in bc.pred, then writes the locally
+// reconstructed pixels (prediction + dequantised residual) into recon.
+func (bc *blockCoder) encodeBlock(w *bitstream.Writer, p, recon *frame.Plane, bx, by int) {
+	if bx >= 0 && by >= 0 && bx+transform.BlockSize <= p.W && by+transform.BlockSize <= p.H {
+		for y := 0; y < transform.BlockSize; y++ {
+			row := p.Pix[(by+y)*p.Stride+bx : (by+y)*p.Stride+bx+transform.BlockSize]
+			s := bc.src[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			pr := bc.pred[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			for x := 0; x < transform.BlockSize; x++ {
+				s[x] = int32(row[x]) - pr[x]
+			}
+		}
+	} else {
+		for y := 0; y < transform.BlockSize; y++ {
+			for x := 0; x < transform.BlockSize; x++ {
+				bc.src[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - bc.pred[y*transform.BlockSize+x]
+			}
 		}
 	}
 	transform.Forward(&bc.src, &bc.coef)
@@ -52,7 +95,7 @@ func (bc *blockCoder) encodeBlock(w *bitstream.Writer, p, recon *frame.Plane, bx
 	}
 	if allZero {
 		w.WriteBit(0)
-		bc.reconstruct(recon, bx, by, pred, true)
+		bc.reconstruct(recon, bx, by, true)
 		return
 	}
 	w.WriteBit(1)
@@ -70,33 +113,68 @@ func (bc *blockCoder) encodeBlock(w *bitstream.Writer, p, recon *frame.Plane, bx
 		run = 0
 	}
 	w.WriteUE(eobMarker)
-	bc.reconstruct(recon, bx, by, pred, false)
+	bc.reconstruct(recon, bx, by, false)
 }
 
 // reconstruct applies prediction + dequantised residual into recon, exactly
 // mirroring what the decoder will compute, so encoder and decoder reference
 // frames stay bit-identical (no drift).
-func (bc *blockCoder) reconstruct(recon *frame.Plane, bx, by int, pred func(x, y int) int32, zero bool) {
+func (bc *blockCoder) reconstruct(recon *frame.Plane, bx, by int, zero bool) {
 	if zero {
-		for y := 0; y < transform.BlockSize; y++ {
-			for x := 0; x < transform.BlockSize; x++ {
-				recon.Set(bx+x, by+y, frame.Clamp(int(pred(x, y))))
-			}
-		}
+		writePredBlock(recon, bx, by, &bc.pred)
 		return
 	}
 	bc.qz.Dequantize(&bc.lev, &bc.dq)
 	transform.Inverse(&bc.dq, &bc.rec)
+	writeResidualBlock(recon, bx, by, &bc.pred, &bc.rec)
+}
+
+// writePredBlock stores clamp(pred) into the 8×8 block at (bx, by); pixels
+// outside the plane are dropped, matching Plane.Set.
+func writePredBlock(dst *frame.Plane, bx, by int, pred *transform.Block) {
+	if bx >= 0 && by >= 0 && bx+transform.BlockSize <= dst.W && by+transform.BlockSize <= dst.H {
+		for y := 0; y < transform.BlockSize; y++ {
+			row := dst.Pix[(by+y)*dst.Stride+bx : (by+y)*dst.Stride+bx+transform.BlockSize]
+			pr := pred[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			for x := 0; x < transform.BlockSize; x++ {
+				row[x] = frame.Clamp(int(pr[x]))
+			}
+		}
+		return
+	}
 	for y := 0; y < transform.BlockSize; y++ {
 		for x := 0; x < transform.BlockSize; x++ {
-			recon.Set(bx+x, by+y, frame.Clamp(int(pred(x, y)+bc.rec[y*transform.BlockSize+x])))
+			dst.Set(bx+x, by+y, frame.Clamp(int(pred[y*transform.BlockSize+x])))
 		}
 	}
 }
 
-// blockDecoder mirrors blockCoder on the read side.
+// writeResidualBlock stores clamp(pred + residual) into the 8×8 block at
+// (bx, by), with the same edge handling as writePredBlock.
+func writeResidualBlock(dst *frame.Plane, bx, by int, pred, res *transform.Block) {
+	if bx >= 0 && by >= 0 && bx+transform.BlockSize <= dst.W && by+transform.BlockSize <= dst.H {
+		for y := 0; y < transform.BlockSize; y++ {
+			row := dst.Pix[(by+y)*dst.Stride+bx : (by+y)*dst.Stride+bx+transform.BlockSize]
+			pr := pred[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			rs := res[y*transform.BlockSize : y*transform.BlockSize+transform.BlockSize]
+			for x := 0; x < transform.BlockSize; x++ {
+				row[x] = frame.Clamp(int(pr[x] + rs[x]))
+			}
+		}
+		return
+	}
+	for y := 0; y < transform.BlockSize; y++ {
+		for x := 0; x < transform.BlockSize; x++ {
+			dst.Set(bx+x, by+y, frame.Clamp(int(pred[y*transform.BlockSize+x]+res[y*transform.BlockSize+x])))
+		}
+	}
+}
+
+// blockDecoder mirrors blockCoder on the read side, with the same caller-
+// filled prediction block.
 type blockDecoder struct {
 	qz      *transform.Quantizer
+	pred    transform.Block
 	zz, lev transform.Block
 	dq, rec transform.Block
 	dcPred  int32
@@ -109,18 +187,14 @@ func newBlockDecoder(quality int) *blockDecoder {
 func (bd *blockDecoder) resetDC() { bd.dcPred = 0 }
 
 // decodeBlock reads one coded block and writes prediction + residual pixels
-// into dst at (bx, by).
-func (bd *blockDecoder) decodeBlock(r *bitstream.Reader, dst *frame.Plane, bx, by int, pred func(x, y int) int32) error {
+// into dst at (bx, by), predicting from bd.pred.
+func (bd *blockDecoder) decodeBlock(r *bitstream.Reader, dst *frame.Plane, bx, by int) error {
 	coded, err := r.ReadBit()
 	if err != nil {
 		return fmt.Errorf("coded-block flag: %w", err)
 	}
 	if coded == 0 {
-		for y := 0; y < transform.BlockSize; y++ {
-			for x := 0; x < transform.BlockSize; x++ {
-				dst.Set(bx+x, by+y, frame.Clamp(int(pred(x, y))))
-			}
-		}
+		writePredBlock(dst, bx, by, &bd.pred)
 		return nil
 	}
 	for i := range bd.zz {
@@ -161,10 +235,6 @@ func (bd *blockDecoder) decodeBlock(r *bitstream.Reader, dst *frame.Plane, bx, b
 	transform.UnZigZag(&bd.zz, &bd.lev)
 	bd.qz.Dequantize(&bd.lev, &bd.dq)
 	transform.Inverse(&bd.dq, &bd.rec)
-	for y := 0; y < transform.BlockSize; y++ {
-		for x := 0; x < transform.BlockSize; x++ {
-			dst.Set(bx+x, by+y, frame.Clamp(int(pred(x, y)+bd.rec[y*transform.BlockSize+x])))
-		}
-	}
+	writeResidualBlock(dst, bx, by, &bd.pred, &bd.rec)
 	return nil
 }

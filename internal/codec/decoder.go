@@ -10,10 +10,18 @@ import (
 
 // Decoder decompresses a stream produced by Encoder with the same Params.
 // Not safe for concurrent use.
+//
+// Like the encoder, the decoder owns two reference frames and ping-pongs
+// between them: every frame is decoded into the scratch buffer first and the
+// pointers swap only on success, so a corrupt payload never damages the
+// reference and a P-frame retry against the same reference stays possible.
 type Decoder struct {
-	p     Params
-	recon *frame.YUV
-	bd    *blockDecoder
+	p       Params
+	recon   *frame.YUV // reconstruction of the last successfully decoded frame
+	scratch *frame.YUV // decode target; swapped with recon on success
+	hasRef  bool
+	bd      *blockDecoder
+	r       bitstream.Reader // reused per frame to keep DecodeInto allocation-free
 }
 
 // NewDecoder validates p and returns a ready decoder.
@@ -21,44 +29,71 @@ func NewDecoder(p Params) (*Decoder, error) {
 	if err := p.normalize(); err != nil {
 		return nil, err
 	}
-	return &Decoder{p: p}, nil
+	return &Decoder{
+		p:       p,
+		recon:   frame.NewYUV(p.Width, p.Height),
+		scratch: frame.NewYUV(p.Width, p.Height),
+	}, nil
 }
 
 // Decode decompresses the next frame in stream order. P-frames require that
-// the preceding frame was decoded by this Decoder.
+// the preceding frame was decoded by this Decoder. The returned frame is
+// freshly allocated and owned by the caller; the allocation-free hot path
+// is DecodeInto.
 func (d *Decoder) Decode(data []byte) (*frame.YUV, error) {
-	ft, quality, r, err := readFrameHeader(data)
-	if err != nil {
+	out := frame.NewYUV(d.p.Width, d.p.Height)
+	if err := d.DecodeInto(data, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto decompresses the next frame in stream order into out, which
+// must have the stream geometry. In steady state it performs zero heap
+// allocations: the frame is reconstructed in the decoder's own reference
+// buffers and copied once into out. out never aliases decoder state, so the
+// caller may freely reuse or mutate it between calls; mutating out does not
+// perturb subsequent P-frame decoding.
+func (d *Decoder) DecodeInto(data []byte, out *frame.YUV) error {
+	if out == nil {
+		return fmt.Errorf("codec: DecodeInto nil output frame")
+	}
+	if out.W != d.p.Width || out.H != d.p.Height {
+		return fmt.Errorf("codec: output frame %dx%d does not match stream %dx%d",
+			out.W, out.H, d.p.Width, d.p.Height)
+	}
+	ft, quality, err := readFrameHeader(&d.r, data)
+	if err != nil {
+		return err
 	}
 	if d.bd == nil || d.bd.qz.Quality() != quality {
 		d.bd = newBlockDecoder(quality)
 	}
 	switch ft {
 	case FrameI:
-		out := frame.NewYUV(d.p.Width, d.p.Height)
-		if err := decodeIntraInto(r, d.bd, out); err != nil {
-			return nil, err
+		if err := decodeIntraInto(&d.r, d.bd, d.scratch); err != nil {
+			return err
 		}
-		d.recon = out
-		return out.Clone(), nil
 	case FrameP:
-		if d.recon == nil {
-			return nil, ErrNoRef
+		if !d.hasRef {
+			return ErrNoRef
 		}
-		out, err := d.decodeInter(r)
-		if err != nil {
-			return nil, err
+		if err := d.decodeInterInto(&d.r, d.recon, d.scratch); err != nil {
+			return err
 		}
-		d.recon = out
-		return out.Clone(), nil
 	default:
-		return nil, fmt.Errorf("%w: frame type %d", ErrCorrupt, ft)
+		return fmt.Errorf("%w: frame type %d", ErrCorrupt, ft)
 	}
+	d.recon, d.scratch = d.scratch, d.recon
+	d.hasRef = true
+	out.Y.CopyFrom(d.recon.Y)
+	out.Cb.CopyFrom(d.recon.Cb)
+	out.Cr.CopyFrom(d.recon.Cr)
+	return nil
 }
 
 // Reset drops the reference frame (e.g. before seeking to an I-frame).
-func (d *Decoder) Reset() { d.recon = nil }
+func (d *Decoder) Reset() { d.hasRef = false }
 
 // DecodeIFrame decodes a single I-frame payload independently of any stream
 // state — the "decompress like a still JPEG" path the SiEVE edge engine uses
@@ -67,7 +102,8 @@ func DecodeIFrame(p Params, data []byte) (*frame.YUV, error) {
 	if err := p.normalize(); err != nil {
 		return nil, err
 	}
-	ft, quality, r, err := readFrameHeader(data)
+	var r bitstream.Reader
+	ft, quality, err := readFrameHeader(&r, data)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +111,7 @@ func DecodeIFrame(p Params, data []byte) (*frame.YUV, error) {
 		return nil, ErrNotIFrame
 	}
 	out := frame.NewYUV(p.Width, p.Height)
-	if err := decodeIntraInto(r, newBlockDecoder(quality), out); err != nil {
+	if err := decodeIntraInto(&r, newBlockDecoder(quality), out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -89,31 +125,33 @@ func PayloadFrameType(data []byte) (FrameType, error) {
 	return FrameType(data[0] >> 7), nil
 }
 
-func readFrameHeader(data []byte) (FrameType, int, *bitstream.Reader, error) {
+// readFrameHeader rewinds r onto data and consumes the one-byte header.
+func readFrameHeader(r *bitstream.Reader, data []byte) (FrameType, int, error) {
 	if len(data) < 1 {
-		return 0, 0, nil, fmt.Errorf("%w: empty payload", ErrCorrupt)
+		return 0, 0, fmt.Errorf("%w: empty payload", ErrCorrupt)
 	}
-	r := bitstream.NewReader(data)
+	r.Reset(data)
 	ftBit, err := r.ReadBits(1)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, err
 	}
 	q, err := r.ReadBits(7)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, err
 	}
 	if q < 1 || q > 100 {
-		return 0, 0, nil, fmt.Errorf("%w: quality %d", ErrCorrupt, q)
+		return 0, 0, fmt.Errorf("%w: quality %d", ErrCorrupt, q)
 	}
-	return FrameType(ftBit), int(q), r, nil
+	return FrameType(ftBit), int(q), nil
 }
 
 func decodeIntraInto(r *bitstream.Reader, bd *blockDecoder, out *frame.YUV) error {
-	for _, pl := range []*frame.Plane{out.Y, out.Cb, out.Cr} {
+	fillPredConst(&bd.pred)
+	for _, pl := range [3]*frame.Plane{out.Y, out.Cb, out.Cr} {
 		bd.resetDC()
 		for by := 0; by < pl.H; by += transform.BlockSize {
 			for bx := 0; bx < pl.W; bx += transform.BlockSize {
-				if err := bd.decodeBlock(r, pl, bx, by, constPred); err != nil {
+				if err := bd.decodeBlock(r, pl, bx, by); err != nil {
 					return fmt.Errorf("intra block (%d,%d): %w", bx, by, err)
 				}
 			}
@@ -122,9 +160,9 @@ func decodeIntraInto(r *bitstream.Reader, bd *blockDecoder, out *frame.YUV) erro
 	return nil
 }
 
-func (d *Decoder) decodeInter(r *bitstream.Reader) (*frame.YUV, error) {
-	prev := d.recon
-	out := frame.NewYUV(d.p.Width, d.p.Height)
+// decodeInterInto decodes one P-frame payload, predicting from prev and
+// writing the reconstruction into dst (every plane pixel is written).
+func (d *Decoder) decodeInterInto(r *bitstream.Reader, prev, dst *frame.YUV) error {
 	dcY, dcCb, dcCr := int32(0), int32(0), int32(0)
 	pred := MV{}
 	for mby := 0; mby < d.p.Height; mby += mbSize {
@@ -132,22 +170,22 @@ func (d *Decoder) decodeInter(r *bitstream.Reader) (*frame.YUV, error) {
 		for mbx := 0; mbx < d.p.Width; mbx += mbSize {
 			skip, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("mb (%d,%d) skip flag: %w", mbx, mby, err)
+				return fmt.Errorf("mb (%d,%d) skip flag: %w", mbx, mby, err)
 			}
 			if skip == 1 {
-				copyBlock(out.Y, prev.Y, mbx, mby, mbSize, MV{})
-				copyBlock(out.Cb, prev.Cb, mbx/2, mby/2, mbSize/2, MV{})
-				copyBlock(out.Cr, prev.Cr, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(dst.Y, prev.Y, mbx, mby, mbSize, MV{})
+				copyBlock(dst.Cb, prev.Cb, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(dst.Cr, prev.Cr, mbx/2, mby/2, mbSize/2, MV{})
 				pred = MV{}
 				continue
 			}
 			dx, err := r.ReadSE()
 			if err != nil {
-				return nil, fmt.Errorf("mb (%d,%d) mv.x: %w", mbx, mby, err)
+				return fmt.Errorf("mb (%d,%d) mv.x: %w", mbx, mby, err)
 			}
 			dy, err := r.ReadSE()
 			if err != nil {
-				return nil, fmt.Errorf("mb (%d,%d) mv.y: %w", mbx, mby, err)
+				return fmt.Errorf("mb (%d,%d) mv.y: %w", mbx, mby, err)
 			}
 			mv := MV{pred.X + int(dx), pred.Y + int(dy)}
 			pred = mv
@@ -156,24 +194,27 @@ func (d *Decoder) decodeInter(r *bitstream.Reader) (*frame.YUV, error) {
 			for sub := 0; sub < 4; sub++ {
 				bx := mbx + (sub%2)*transform.BlockSize
 				by := mby + (sub/2)*transform.BlockSize
-				if err := d.bd.decodeBlock(r, out.Y, bx, by, mcPred(prev.Y, bx, by, mv)); err != nil {
-					return nil, fmt.Errorf("mb (%d,%d) luma: %w", mbx, mby, err)
+				fillPredMC(&d.bd.pred, prev.Y, bx, by, mv)
+				if err := d.bd.decodeBlock(r, dst.Y, bx, by); err != nil {
+					return fmt.Errorf("mb (%d,%d) luma: %w", mbx, mby, err)
 				}
 			}
 			dcY = d.bd.dcPred
 			cmv := MV{mv.X / 2, mv.Y / 2}
 			cbx, cby := mbx/2, mby/2
 			d.bd.dcPred = dcCb
-			if err := d.bd.decodeBlock(r, out.Cb, cbx, cby, mcPred(prev.Cb, cbx, cby, cmv)); err != nil {
-				return nil, fmt.Errorf("mb (%d,%d) cb: %w", mbx, mby, err)
+			fillPredMC(&d.bd.pred, prev.Cb, cbx, cby, cmv)
+			if err := d.bd.decodeBlock(r, dst.Cb, cbx, cby); err != nil {
+				return fmt.Errorf("mb (%d,%d) cb: %w", mbx, mby, err)
 			}
 			dcCb = d.bd.dcPred
 			d.bd.dcPred = dcCr
-			if err := d.bd.decodeBlock(r, out.Cr, cbx, cby, mcPred(prev.Cr, cbx, cby, cmv)); err != nil {
-				return nil, fmt.Errorf("mb (%d,%d) cr: %w", mbx, mby, err)
+			fillPredMC(&d.bd.pred, prev.Cr, cbx, cby, cmv)
+			if err := d.bd.decodeBlock(r, dst.Cr, cbx, cby); err != nil {
+				return fmt.Errorf("mb (%d,%d) cr: %w", mbx, mby, err)
 			}
 			dcCr = d.bd.dcPred
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -13,10 +13,18 @@ const intraShift = 128
 
 // Encoder compresses a sequence of frames. It is not safe for concurrent
 // use; run one Encoder per stream.
+//
+// The encoder owns two reference frames and ping-pongs between them: recon
+// always holds the reconstruction of the last encoded frame (what the
+// decoder will see), and scratch receives the next P-frame's reconstruction
+// while recon serves as its prediction source. Swapping the two pointers
+// after each P-frame replaces the three full-plane clones per frame the
+// naive in-place scheme needs, so steady-state encoding allocates nothing.
 type Encoder struct {
 	p        Params
 	analyzer *CostAnalyzer
-	recon    *frame.YUV // reconstructed reference (what the decoder will see)
+	recon    *frame.YUV // reconstruction of the last encoded frame
+	scratch  *frame.YUV // ping-pong partner for P-frame reconstruction
 	num      int        // next frame number
 	sinceI   int        // frames since last I-frame (0 right after an I)
 	bc       *blockCoder
@@ -31,6 +39,8 @@ func NewEncoder(p Params) (*Encoder, error) {
 	return &Encoder{
 		p:        p,
 		analyzer: NewCostAnalyzer(),
+		recon:    frame.NewYUV(p.Width, p.Height),
+		scratch:  frame.NewYUV(p.Width, p.Height),
 		bc:       newBlockCoder(p.Quality),
 		w:        bitstream.NewWriter(p.Width * p.Height / 4),
 	}, nil
@@ -40,15 +50,30 @@ func NewEncoder(p Params) (*Encoder, error) {
 func (e *Encoder) Params() Params { return e.p }
 
 // Encode compresses the next frame, deciding its type via the GOP/scenecut
-// rule. The input frame is not retained.
+// rule. The input frame is not retained. The returned EncodedFrame and its
+// Data are freshly allocated and owned by the caller; the allocation-free
+// hot path is EncodeInto.
 func (e *Encoder) Encode(f *frame.YUV) (*EncodedFrame, error) {
+	ef := &EncodedFrame{}
+	if err := e.EncodeInto(f, ef); err != nil {
+		return nil, err
+	}
+	return ef, nil
+}
+
+// EncodeInto compresses the next frame into ef, reusing ef.Data's capacity.
+// In steady state (ef reused across calls, geometry fixed) it performs zero
+// heap allocations: the payload is built in the encoder's bitstream writer
+// and copied once into ef.Data. ef.Data remains caller-owned; it is only
+// rewritten by the caller's next EncodeInto with the same ef.
+func (e *Encoder) EncodeInto(f *frame.YUV, ef *EncodedFrame) error {
 	cost := e.analyzer.Analyze(f)
 	dist := 0
 	if e.num > 0 {
 		dist = e.sinceI + 1 // distance this frame would have from last I
 	}
 	ft := DecideType(cost, dist, e.p)
-	return e.encodeAs(f, ft, cost)
+	return e.encodeAs(f, ft, cost, ef)
 }
 
 // EncodeForced compresses the next frame with a caller-chosen type,
@@ -58,16 +83,19 @@ func (e *Encoder) EncodeForced(f *frame.YUV, ft FrameType) (*EncodedFrame, error
 	if e.num == 0 && ft != FrameI {
 		return nil, fmt.Errorf("codec: frame 0 must be an I-frame")
 	}
-	return e.encodeAs(f, ft, cost)
+	ef := &EncodedFrame{}
+	if err := e.encodeAs(f, ft, cost, ef); err != nil {
+		return nil, err
+	}
+	return ef, nil
 }
 
-func (e *Encoder) encodeAs(f *frame.YUV, ft FrameType, cost Cost) (*EncodedFrame, error) {
+func (e *Encoder) encodeAs(f *frame.YUV, ft FrameType, cost Cost, ef *EncodedFrame) error {
 	if f.W != e.p.Width || f.H != e.p.Height {
-		return nil, fmt.Errorf("codec: frame %dx%d does not match stream %dx%d",
+		return fmt.Errorf("codec: frame %dx%d does not match stream %dx%d",
 			f.W, f.H, e.p.Width, e.p.Height)
 	}
-	if e.recon == nil {
-		e.recon = frame.NewYUV(e.p.Width, e.p.Height)
+	if e.num == 0 {
 		ft = FrameI
 	}
 	e.w.Reset()
@@ -83,46 +111,39 @@ func (e *Encoder) encodeAs(f *frame.YUV, ft FrameType, cost Cost) (*EncodedFrame
 		e.encodeInter(f)
 		e.sinceI++
 	default:
-		return nil, fmt.Errorf("codec: unknown frame type %v", ft)
+		return fmt.Errorf("codec: unknown frame type %v", ft)
 	}
 
-	data := make([]byte, len(e.w.Bytes()))
-	copy(data, e.w.Bytes())
-	ef := &EncodedFrame{
-		Number:    e.num,
-		Type:      ft,
-		Data:      data,
-		IntraCost: cost.Intra,
-		InterCost: cost.Inter,
-	}
+	ef.Number = e.num
+	ef.Type = ft
+	ef.Data = append(ef.Data[:0], e.w.Bytes()...)
+	ef.IntraCost = cost.Intra
+	ef.InterCost = cost.Inter
 	e.num++
-	return ef, nil
+	return nil
 }
 
 func (e *Encoder) encodeIntra(f *frame.YUV) {
-	for _, pl := range []struct{ src, rec *frame.Plane }{
+	fillPredConst(&e.bc.pred)
+	for _, pl := range [3]struct{ src, rec *frame.Plane }{
 		{f.Y, e.recon.Y}, {f.Cb, e.recon.Cb}, {f.Cr, e.recon.Cr},
 	} {
 		e.bc.resetDC()
 		for by := 0; by < pl.src.H; by += transform.BlockSize {
 			for bx := 0; bx < pl.src.W; bx += transform.BlockSize {
-				e.bc.encodeBlock(e.w, pl.src, pl.rec, bx, by, constPred)
+				e.bc.encodeBlock(e.w, pl.src, pl.rec, bx, by)
 			}
 		}
 	}
 }
 
-func constPred(x, y int) int32 { return intraShift }
-
 func (e *Encoder) encodeInter(f *frame.YUV) {
-	ref := e.recon
-	// Luma-grid macroblock loop. Prediction planes are built per block via
-	// closures over the motion vector; the recon planes are updated in place
-	// after each block, which is safe because P-frames predict only from the
-	// *previous* frame's recon, captured below before any writes.
-	prevY := ref.Y.Clone()
-	prevCb := ref.Cb.Clone()
-	prevCr := ref.Cr.Clone()
+	// P-frames predict only from the previous frame's reconstruction, so the
+	// macroblock loop reads ref (the last recon) and writes dst (the other
+	// ping-pong buffer); the final swap makes dst the new reference. Every
+	// plane pixel of dst is written exactly once — by a skip copy or a block
+	// reconstruction — so no clearing is needed.
+	ref, dst := e.recon, e.scratch
 
 	e.bc.resetDC()
 	dcY, dcCb, dcCr := int32(0), int32(0), int32(0)
@@ -130,13 +151,13 @@ func (e *Encoder) encodeInter(f *frame.YUV) {
 	for mby := 0; mby < f.H; mby += mbSize {
 		pred = MV{}
 		for mbx := 0; mbx < f.W; mbx += mbSize {
-			mv, sad := searchMotion(f.Y, prevY, mbx, mby, mbSize, e.p.SearchRange, pred, e.p.Search)
+			mv, sad := searchMotion(f.Y, ref.Y, mbx, mby, mbSize, e.p.SearchRange, pred, e.p.Search)
 			if mv == (MV{}) && sad < e.p.SkipSAD {
 				// Skip: decoder copies the co-located block.
 				e.w.WriteBit(1)
-				copyBlock(e.recon.Y, prevY, mbx, mby, mbSize, MV{})
-				copyBlock(e.recon.Cb, prevCb, mbx/2, mby/2, mbSize/2, MV{})
-				copyBlock(e.recon.Cr, prevCr, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(dst.Y, ref.Y, mbx, mby, mbSize, MV{})
+				copyBlock(dst.Cb, ref.Cb, mbx/2, mby/2, mbSize/2, MV{})
+				copyBlock(dst.Cr, ref.Cr, mbx/2, mby/2, mbSize/2, MV{})
 				pred = MV{}
 				continue
 			}
@@ -150,34 +171,39 @@ func (e *Encoder) encodeInter(f *frame.YUV) {
 			for sub := 0; sub < 4; sub++ {
 				bx := mbx + (sub%2)*transform.BlockSize
 				by := mby + (sub/2)*transform.BlockSize
-				e.bc.encodeBlock(e.w, f.Y, e.recon.Y, bx, by, mcPred(prevY, bx, by, mv))
+				fillPredMC(&e.bc.pred, ref.Y, bx, by, mv)
+				e.bc.encodeBlock(e.w, f.Y, dst.Y, bx, by)
 			}
 			dcY = e.bc.dcPred
 			// One 8×8 block per chroma plane, MV halved.
 			cmv := MV{mv.X / 2, mv.Y / 2}
 			cbx, cby := mbx/2, mby/2
 			e.bc.dcPred = dcCb
-			e.bc.encodeBlock(e.w, f.Cb, e.recon.Cb, cbx, cby, mcPred(prevCb, cbx, cby, cmv))
+			fillPredMC(&e.bc.pred, ref.Cb, cbx, cby, cmv)
+			e.bc.encodeBlock(e.w, f.Cb, dst.Cb, cbx, cby)
 			dcCb = e.bc.dcPred
 			e.bc.dcPred = dcCr
-			e.bc.encodeBlock(e.w, f.Cr, e.recon.Cr, cbx, cby, mcPred(prevCr, cbx, cby, cmv))
+			fillPredMC(&e.bc.pred, ref.Cr, cbx, cby, cmv)
+			e.bc.encodeBlock(e.w, f.Cr, dst.Cr, cbx, cby)
 			dcCr = e.bc.dcPred
 		}
 	}
-}
-
-// mcPred returns a prediction function reading the motion-compensated
-// reference block at (bx+mv.X, by+mv.Y).
-func mcPred(ref *frame.Plane, bx, by int, mv MV) func(x, y int) int32 {
-	return func(x, y int) int32 {
-		return int32(ref.At(bx+x+mv.X, by+y+mv.Y))
-	}
+	e.recon, e.scratch = dst, ref
 }
 
 func copyBlock(dst, src *frame.Plane, bx, by, size int, mv MV) {
+	sx, sy := bx+mv.X, by+mv.Y
+	if bx >= 0 && by >= 0 && bx+size <= dst.W && by+size <= dst.H &&
+		sx >= 0 && sy >= 0 && sx+size <= src.W && sy+size <= src.H {
+		for y := 0; y < size; y++ {
+			copy(dst.Pix[(by+y)*dst.Stride+bx:(by+y)*dst.Stride+bx+size],
+				src.Pix[(sy+y)*src.Stride+sx:(sy+y)*src.Stride+sx+size])
+		}
+		return
+	}
 	for y := 0; y < size; y++ {
 		for x := 0; x < size; x++ {
-			dst.Set(bx+x, by+y, src.At(bx+x+mv.X, by+y+mv.Y))
+			dst.Set(bx+x, by+y, src.At(sx+x, sy+y))
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// goldenStream describes one pinned encode: a seeded synthetic clip, the
+// encoder parameters, and the SHA-256 of every payload the encoder must
+// produce for it. The hashes were recorded from the reference implementation
+// and pin the bitstream byte-for-byte: any codec change that alters a single
+// bit of output fails here mechanically, instead of relying on round-trip
+// tests to notice by luck.
+type goldenStream struct {
+	name    string
+	p       Params
+	w, h    int
+	frames  int
+	enter   int
+	seed    int64
+	digests []string // "<type>:<sha256>" per frame, in encode order
+}
+
+var goldenStreams = []goldenStream{
+	{
+		name: "mixed-gop-scenecut-64x48",
+		p:    Params{Width: 64, Height: 48, Quality: 85, GOPSize: 8, Scenecut: 180},
+		w:    64, h: 48, frames: 16, enter: 5, seed: 42,
+		digests: []string{
+			"I:ae6eda259afa8a68fe12955c3479f8fc716301968e63699642eee086ec46ef9f",
+			"P:e20007ee3ea2ce38cf3891ca1c75f91578c9ee0a88eea4a24efe0b52f91d50f2",
+			"P:cb216ce4e90e949e10c58562838463f58f9084e2c257ed935e9e1fe232bcbc39",
+			"P:011dacb3b0e3408fe20b9276242f1f98e4fb27150e6e9ba44eac7412d36c91a1",
+			"P:b92f0846a6326a16cad09344dd1adadb4cd5437e91763a1e19a8e06cc62c3b6e",
+			"I:145ab1b78ea1447765b14bb9e65037fcf836a5bea47c92e6f8aa9beea0da5876",
+			"I:d7718fdb3e3f1ea75f284be854ac07d0e0c535ba55c3e04c564c8850ca471b84",
+			"P:901c96e2b0d8fa09b8ecf38444cc79cf4edf6654bbfbf5fd1824f06650b47c55",
+			"P:6301fc5b184361bbbfac0504056a0af1e4f9aaa064c022c3b62ee5a17d3c4051",
+			"P:8e8e6dbc22e6b7a129b9417ccd73183c1db10f33934937e54fc74f42dc7c8f9f",
+			"P:2077020b2b369ad4520dc200ef896854d72c70c0becd21f2e5017fd4324abd2d",
+			"P:9b22dc527e0aee05c005512b3bbe919e6419a9e7debd7e2a3143cc16dda3a756",
+			"P:c9fe1b2bd1cb6f5a059c244c93c53e0a68d0b96d42dfb3fe1ab165791fde4723",
+			"P:5604c8db30b69fce19b85280a4cb2bb4124a19f4c696a8bb91abd1a68911ef3b",
+			"I:b6d736c6d5c4e7026669be15b071eaf31e63faacca6f5fec459159323f67b63e",
+			"P:58db7071c7ba93f06e403c6326857b61f9f7c48ead3f8a3d2c09e389a7521d47",
+		},
+	},
+	{
+		name: "edge-dims-36x28",
+		p:    Params{Width: 36, Height: 28, Quality: 70, GOPSize: 3, Scenecut: 0},
+		w:    36, h: 28, frames: 6, enter: 2, seed: 7,
+		digests: []string{
+			"I:d2c581858489908e1f8aaaf3350c457f8601fdbd2ad16ac5508d801ee490c5f0",
+			"P:aadc10e05188a1d25cdcd58966a85b74a83bcf5b7be2f7e9d42e47935ba61d46",
+			"P:d7de221bb07af3dfee15e1add12a0bf25762cf867b20425356b6f6bccab60aee",
+			"I:a4b126b21e885e4eac09a450d17850c688caf5f57cf3aa2b737a9b1cfbcfdd7f",
+			"P:7ca12fe1a0068868cbca54322c101004283324aaafbf34108dff6b1f08cb613e",
+			"P:84cff41c602824114713fd487337ba29786f063074e416c36304cea1c03c56f8",
+		},
+	},
+}
+
+// TestGoldenBitstream locks the encoder output byte-for-byte. If a change is
+// *meant* to alter the bitstream (a format change), the failure message
+// prints the replacement literal to paste into the fixture above — but for a
+// pure refactor or optimisation this test failing means the change is wrong.
+func TestGoldenBitstream(t *testing.T) {
+	for _, g := range goldenStreams {
+		t.Run(g.name, func(t *testing.T) {
+			frames := testVideo(g.w, g.h, g.frames, g.enter, g.seed)
+			encoded := encodeAll(t, g.p, frames)
+			got := make([]string, len(encoded))
+			for i, ef := range encoded {
+				sum := sha256.Sum256(ef.Data)
+				got[i] = fmt.Sprintf("%s:%s", ef.Type, hex.EncodeToString(sum[:]))
+			}
+			if len(g.digests) == 0 || !slices.Equal(got, g.digests) {
+				var b strings.Builder
+				for _, d := range got {
+					fmt.Fprintf(&b, "\t\t\t%q,\n", d)
+				}
+				t.Fatalf("bitstream digests changed; if intentional, update the fixture to:\n%s", b.String())
+			}
+		})
+	}
+}

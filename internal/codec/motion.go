@@ -28,19 +28,21 @@ func clampMV(v, rangePx int) int {
 	return v
 }
 
+// diamondSearch threads the running best cost into every candidate SAD as
+// an early-exit bound: a candidate only matters if it is strictly better, so
+// frame.SADBounded can stop summing rows as soon as the partial sum reaches
+// bestCost without changing which vector wins. The returned cost is always
+// exact — a winning candidate's sum completes below the bound by definition.
 func diamondSearch(cur, ref *frame.Plane, bx, by, size, rangePx int, pred MV) (MV, int) {
-	sad := func(mv MV) int {
-		return frame.SAD(cur, bx, by, ref, bx+mv.X, by+mv.Y, size, size)
-	}
 	best := MV{}
-	bestCost := sad(best)
+	bestCost := frame.SAD(cur, bx, by, ref, bx, by, size, size)
 	// Early exit: a static block needs no search.
 	if bestCost <= size*size/2 {
 		return best, bestCost
 	}
 	pred = MV{clampMV(pred.X, rangePx), clampMV(pred.Y, rangePx)}
 	if pred != best {
-		if c := sad(pred); c < bestCost {
+		if c := frame.SADBounded(cur, bx, by, ref, bx+pred.X, by+pred.Y, size, size, bestCost); c < bestCost {
 			best, bestCost = pred, c
 		}
 	}
@@ -52,7 +54,7 @@ func diamondSearch(cur, ref *frame.Plane, bx, by, size, rangePx int, pred MV) (M
 			if cand == best {
 				continue
 			}
-			if c := sad(cand); c < bestCost {
+			if c := frame.SADBounded(cur, bx, by, ref, bx+cand.X, by+cand.Y, size, size, bestCost); c < bestCost {
 				best, bestCost = cand, c
 				improved = true
 			}
@@ -64,13 +66,17 @@ func diamondSearch(cur, ref *frame.Plane, bx, by, size, rangePx int, pred MV) (M
 	// Small diamond refinement.
 	for _, d := range smallDiamond {
 		cand := MV{clampMV(best.X+d.X, rangePx), clampMV(best.Y+d.Y, rangePx)}
-		if c := sad(cand); c < bestCost {
+		if c := frame.SADBounded(cur, bx, by, ref, bx+cand.X, by+cand.Y, size, size, bestCost); c < bestCost {
 			best, bestCost = cand, c
 		}
 	}
 	return best, bestCost
 }
 
+// fullSearch bounds each candidate at bestCost+1, not bestCost: its
+// tie-break (equal cost, strictly shorter vector wins) needs the exact SAD
+// when c == bestCost, and with bound = bestCost+1 any true sum <= bestCost
+// completes without an early exit, i.e. exactly.
 func fullSearch(cur, ref *frame.Plane, bx, by, size, rangePx int) (MV, int) {
 	best := MV{}
 	bestCost := frame.SAD(cur, bx, by, ref, bx, by, size, size)
@@ -79,7 +85,7 @@ func fullSearch(cur, ref *frame.Plane, bx, by, size, rangePx int) (MV, int) {
 			if dx == 0 && dy == 0 {
 				continue
 			}
-			c := frame.SAD(cur, bx, by, ref, bx+dx, by+dy, size, size)
+			c := frame.SADBounded(cur, bx, by, ref, bx+dx, by+dy, size, size, bestCost+1)
 			if c < bestCost || (c == bestCost && absInt(dx)+absInt(dy) < absInt(best.X)+absInt(best.Y)) {
 				best, bestCost = MV{dx, dy}, c
 			}

@@ -201,6 +201,49 @@ func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 	return sum
 }
 
+// SADBounded is SAD with an early exit: once the running sum reaches bound
+// the scan stops (checked per row) and the partial sum — some value >= bound
+// — is returned. Motion search uses it with bound = current best cost, where
+// only "is this candidate strictly better" matters: because the running sum
+// never decreases, a partial sum >= bound proves the exact SAD is too, so
+// the comparison outcome (and therefore the chosen vector and the bitstream)
+// is identical to computing the full sum. Callers that need the exact value
+// on ties must pass bound = best+1.
+func SADBounded(a *Plane, ax, ay int, b *Plane, bx, by, w, h, bound int) int {
+	sum := 0
+	if ax >= 0 && ay >= 0 && ax+w <= a.W && ay+h <= a.H &&
+		bx >= 0 && by >= 0 && bx+w <= b.W && by+h <= b.H {
+		for y := 0; y < h; y++ {
+			ar := a.Pix[(ay+y)*a.Stride+ax : (ay+y)*a.Stride+ax+w]
+			br := b.Pix[(by+y)*b.Stride+bx : (by+y)*b.Stride+bx+w]
+			for x := 0; x < w; x++ {
+				d := int(ar[x]) - int(br[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+			if sum >= bound {
+				return sum
+			}
+		}
+		return sum
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(a.At(ax+x, ay+y)) - int(b.At(bx+x, by+y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum >= bound {
+			return sum
+		}
+	}
+	return sum
+}
+
 // SSE returns the sum of squared differences between same-sized planes.
 func SSE(a, b *Plane) int64 {
 	if a.W != b.W || a.H != b.H {

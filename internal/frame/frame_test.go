@@ -127,6 +127,37 @@ func TestSADFastSlowAgree(t *testing.T) {
 	}
 }
 
+func TestSADBoundedExactBelowBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomPlane(rng, 32, 32)
+	b := randomPlane(rng, 32, 32)
+	// Interior and border-crossing placements, fast and clamped paths alike.
+	cases := [][4]int{{4, 4, 6, 5}, {0, 0, -3, -2}, {20, 20, 27, 26}}
+	for _, c := range cases {
+		exact := SAD(a, c[0], c[1], b, c[2], c[3], 8, 8)
+		if got := SADBounded(a, c[0], c[1], b, c[2], c[3], 8, 8, exact+1); got != exact {
+			t.Fatalf("SADBounded(bound=exact+1) at %v = %d, want exact %d", c, got, exact)
+		}
+	}
+}
+
+func TestSADBoundedEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomPlane(rng, 32, 32)
+	b := randomPlane(rng, 32, 32)
+	exact := SAD(a, 4, 4, b, 9, 7, 16, 16)
+	if exact == 0 {
+		t.Fatal("degenerate fixture: exact SAD is 0")
+	}
+	// Any bound <= exact must return some value >= bound (the only property
+	// motion search relies on: "this candidate is not strictly better").
+	for _, bound := range []int{1, exact / 2, exact} {
+		if got := SADBounded(a, 4, 4, b, 9, 7, 16, 16, bound); got < bound {
+			t.Fatalf("SADBounded(bound=%d) = %d, want >= bound", bound, got)
+		}
+	}
+}
+
 func TestMSEAndPSNR(t *testing.T) {
 	a := NewPlane(4, 4)
 	b := NewPlane(4, 4)

@@ -277,6 +277,7 @@ func (a *VideoAsset) analyzeBaselines(ctx context.Context, v *synth.Video, opts 
 		img *frame.YUV
 	}
 	var msePending []pending
+	img := frame.NewYUV(a.Default.Info().Width, a.Default.Info().Height)
 	for i := 0; i < a.NumFrames; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -285,8 +286,7 @@ func (a *VideoAsset) analyzeBaselines(ctx context.Context, v *synth.Video, opts 
 		if err != nil {
 			return err
 		}
-		img, err := dec.Decode(payload)
-		if err != nil {
+		if err := dec.DecodeInto(payload, img); err != nil {
 			return fmt.Errorf("pipeline: %s default frame %d: %w", a.Name, i, err)
 		}
 		scores[i] = mse.Score(img)
@@ -417,7 +417,8 @@ func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
 	}
 	mc.DecodeI = time.Since(start)
 
-	// DecodeP: sequential decode of the first few default frames.
+	// DecodeP: sequential decode of the first few default frames, with the
+	// steady-state decode-into path (what the baselines actually pay).
 	dec, err := codec.NewDecoder(a.Default.Info().CodecParams())
 	if err != nil {
 		return mc, err
@@ -426,15 +427,14 @@ func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
 	if n > 20 {
 		n = 20
 	}
+	last := frame.NewYUV(a.Default.Info().Width, a.Default.Info().Height)
 	start = time.Now()
-	var last *frame.YUV
 	for i := 0; i < n; i++ {
 		p, err := a.Default.Payload(i)
 		if err != nil {
 			return mc, err
 		}
-		last, err = dec.Decode(p)
-		if err != nil {
+		if err := dec.DecodeInto(p, last); err != nil {
 			return mc, err
 		}
 	}

@@ -285,6 +285,10 @@ func (s *Session) Run(ctx context.Context) error {
 	s.mu.Unlock()
 	defer close(s.events)
 
+	// One EncodedFrame reused across the whole feed: with the zero-alloc
+	// encoder hot path the per-frame loop stops allocating once ef.Data and
+	// the encoder's internal buffers reach steady-state capacity.
+	var ef EncodedFrame
 	for {
 		f, err := s.src.Next(ctx)
 		if errors.Is(err, io.EOF) {
@@ -293,8 +297,7 @@ func (s *Session) Run(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("sieve: session %s: source: %w", s.cfg.name, err)
 		}
-		ef, err := s.enc.Encode(f)
-		if err != nil {
+		if err := s.enc.EncodeInto(f, &ef); err != nil {
 			return fmt.Errorf("sieve: session %s: %w", s.cfg.name, err)
 		}
 		s.mu.Lock()

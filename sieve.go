@@ -91,15 +91,25 @@ func NewSemanticEncoder(ws io.WriteSeeker, p EncoderParams, fps int) (*SemanticE
 }
 
 // Encode compresses and appends one frame, returning its type and size.
+// The returned EncodedFrame is freshly allocated; streaming hot paths that
+// call per frame should prefer EncodeInto with a reused EncodedFrame.
 func (e *SemanticEncoder) Encode(f *Frame) (*EncodedFrame, error) {
-	ef, err := e.enc.Encode(f)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.w.WriteEncoded(ef); err != nil {
+	ef := &EncodedFrame{}
+	if err := e.EncodeInto(f, ef); err != nil {
 		return nil, err
 	}
 	return ef, nil
+}
+
+// EncodeInto compresses and appends one frame into ef, reusing ef.Data's
+// capacity — the allocation-free steady-state path (see codec.EncodeInto).
+// The payload is written to the stream before EncodeInto returns, so ef is
+// purely an output/report structure the caller may reuse every frame.
+func (e *SemanticEncoder) EncodeInto(f *Frame, ef *EncodedFrame) error {
+	if err := e.enc.EncodeInto(f, ef); err != nil {
+		return err
+	}
+	return e.w.WriteEncoded(ef)
 }
 
 // Close finalises the stream index.

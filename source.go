@@ -10,6 +10,7 @@ import (
 
 	"sieve/internal/codec"
 	"sieve/internal/container"
+	"sieve/internal/frame"
 	"sieve/internal/synth"
 )
 
@@ -168,6 +169,7 @@ func PacedBy(c Clock) ReplayOption {
 type ReplaySource struct {
 	r        *container.Reader
 	dec      *codec.Decoder
+	buf      *Frame // reused decode target (FrameSource contract: valid until next Next)
 	i        int
 	clock    Clock // nil = as fast as the consumer pulls
 	frameDur time.Duration
@@ -215,12 +217,15 @@ func (s *ReplaySource) Next(ctx context.Context) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := s.dec.Decode(payload)
-	if err != nil {
+	if s.buf == nil {
+		info := s.r.Info()
+		s.buf = frame.NewYUV(info.Width, info.Height)
+	}
+	if err := s.dec.DecodeInto(payload, s.buf); err != nil {
 		return nil, fmt.Errorf("sieve: replay frame %d: %w", s.i, err)
 	}
 	s.i++
-	return f, nil
+	return s.buf, nil
 }
 
 // ErrSourceClosed is returned by PushSource.Push after Close.
