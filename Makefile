@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-full fmt vet lint ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-full fmt vet lint ci
 
 all: build
 
@@ -60,6 +60,17 @@ bench-codec:
 
 bench-codec-smoke:
 	$(GO) test -run='^$$' -bench='^(BenchmarkEncodeP|BenchmarkDecodeInto|BenchmarkAnalyze|BenchmarkSADBounded)' -benchtime=1x -benchmem ./internal/codec/
+
+# Multi-site cluster micro-benchmark: feeds/sec for a fixed 4-camera fleet
+# at K=1,2,4 edge sites (encode + shard bookkeeping + uplink metering +
+# edge archival + cloud merge). On this 1-core box the read is the sharding
+# plane's overhead as K grows, not a speedup. CI runs the 1-iteration smoke
+# variant so the cluster path cannot silently stop compiling as a benchmark.
+bench-cluster:
+	$(GO) test -run='^$$' -bench='^BenchmarkClusterSites' -benchmem .
+
+bench-cluster-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkClusterSites' -benchtime=1x -benchmem .
 
 # The full benchmark suite doubles as the experiment record (see
 # bench_test.go); this regenerates every paper figure and table.

@@ -1,0 +1,513 @@
+package sieve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sieve/internal/cluster"
+	"sieve/internal/container"
+	"sieve/internal/labels"
+	"sieve/internal/store"
+)
+
+// Re-exported storage and sharding types (same alias pattern as sieve.go:
+// the public names are stable while the internal packages evolve).
+type (
+	// ResultsDB is the results database mapping (camera, frame) to detected
+	// labels — per-site shards and the cluster's merged global view.
+	ResultsDB = store.ResultsDB
+	// MergeConflictError is returned when two shards disagree on a frame.
+	MergeConflictError = store.MergeConflictError
+	// EdgeStoreDB retains encoded streams per camera with quota accounting.
+	EdgeStoreDB = store.EdgeStore
+	// LabelTrack is a per-frame label assignment (Track results).
+	LabelTrack = labels.Track
+	// Sharder places feeds onto edge sites (see ShardByHash and friends).
+	Sharder = cluster.Sharder
+	// SiteLoad is the per-site state a Sharder sees at assignment time.
+	SiteLoad = cluster.SiteLoad
+)
+
+// NewResultsDB returns an empty results database.
+func NewResultsDB() *ResultsDB { return store.NewResultsDB() }
+
+// LoadResultsDB reads a database written by ResultsDB.Save.
+func LoadResultsDB(path string) (*ResultsDB, error) { return store.LoadResultsDB(path) }
+
+// ShardByHash places each feed by a stable hash of its name (the default:
+// a camera always lands on the same site for a given cluster size).
+func ShardByHash() Sharder { return cluster.StaticHash{} }
+
+// ShardRoundRobin cycles feeds across sites in AddFeed order.
+func ShardRoundRobin() Sharder { return &cluster.RoundRobin{} }
+
+// ShardLeastBusy places each feed on the site with the fewest expected
+// frames (ties: fewest feeds, then lowest site index).
+func ShardLeastBusy() Sharder { return cluster.LeastBusy{} }
+
+// SharderByName resolves a CLI name ("hash", "roundrobin", "leastbusy")
+// to a sharding policy.
+func SharderByName(name string) (Sharder, error) { return cluster.ByName(name) }
+
+// ClusterOption configures a Cluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	sharder     Sharder
+	siteWorkers int
+	bufSize     int
+	uplinkBps   float64
+	latency     time.Duration
+	quota       int64
+}
+
+// WithSharder selects the feed-placement policy (default ShardByHash).
+func WithSharder(s Sharder) ClusterOption {
+	return func(c *clusterConfig) { c.sharder = s }
+}
+
+// WithSiteWorkers bounds each site's runner pool: how many of the site's
+// feeds encode concurrently (default GOMAXPROCS, like Hub).
+func WithSiteWorkers(n int) ClusterOption {
+	return func(c *clusterConfig) { c.siteWorkers = n }
+}
+
+// WithUplink configures every site's edge→cloud link (defaults: the
+// paper's 30 Mbps / 20 ms WAN). Transfers are virtual — accounted, never
+// slept on.
+func WithUplink(bandwidthBps float64, latency time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.uplinkBps, c.latency = bandwidthBps, latency }
+}
+
+// WithEdgeQuota bounds each site's edge store in bytes (0 = unlimited).
+// A completed feed whose stream does not fit surfaces ErrQuotaExceeded
+// from that site.
+func WithEdgeQuota(bytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.quota = bytes }
+}
+
+// WithClusterBuffer sets the merged event channel capacity (default 256).
+func WithClusterBuffer(n int) ClusterOption {
+	return func(c *clusterConfig) {
+		if n > 0 {
+			c.bufSize = n
+		}
+	}
+}
+
+// ErrQuotaExceeded reports an edge store that cannot fit a stream.
+var ErrQuotaExceeded = store.ErrQuotaExceeded
+
+// clusterFeed is one camera pinned to a site: its session plus the sink
+// buffer the encoded stream lands in (archived to the site's EdgeStore
+// after a successful run).
+type clusterFeed struct {
+	name string
+	sess *Session
+	sink *container.Buffer
+}
+
+// clusterSite is one edge site: a Hub with its own bounded pool, a
+// ResultsDB shard, and an EdgeStore for the encoded streams.
+type clusterSite struct {
+	name   string
+	hub    *Hub
+	shard  *ResultsDB
+	edge   *EdgeStoreDB
+	feeds  []*clusterFeed
+	frames int // expected frames of bounded feeds (sharder load input)
+	err    error
+}
+
+// Cluster is the multi-site deployment of Figure 1: N camera feeds sharded
+// across K edge sites, each site a Hub with its own worker pool, ResultsDB
+// shard and EdgeStore, shipping I-frame detections and stats to a simulated
+// cloud over per-site metered uplinks. After Run, the cloud coordinator has
+// merged the shards into one conflict-checked global view serving
+// cross-camera Query/Track calls.
+//
+// Determinism contract: with per-feed VirtualClocks and deterministic
+// sources, the merged ResultsDB is byte-identical (ResultsDB.Save) run to
+// run and identical to running the same feeds through one flat Hub —
+// sharding changes where work happens, never what is computed.
+//
+// Usage mirrors Hub: AddFeed cameras, consume Events concurrently, Run,
+// then Snapshot / Merged / Query.
+type Cluster struct {
+	sharder Sharder
+	topo    *cluster.Topology
+	coord   *cluster.Coordinator
+
+	mu      sync.Mutex
+	sites   []*clusterSite
+	started bool
+	merged  *ResultsDB
+	events  chan Event
+}
+
+// NewCluster builds a cluster of numSites edge sites named "site0"..,
+// sharing one cloud coordinator.
+func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
+	if numSites < 1 {
+		return nil, fmt.Errorf("sieve: cluster: need at least one site, got %d", numSites)
+	}
+	cfg := clusterConfig{sharder: ShardByHash(), bufSize: 256, latency: -1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	names := make([]string, numSites)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%d", i)
+	}
+	topo, err := cluster.NewStarTopology(names, cfg.uplinkBps, cfg.latency)
+	if err != nil {
+		return nil, fmt.Errorf("sieve: cluster: %w", err)
+	}
+	c := &Cluster{
+		sharder: cfg.sharder,
+		topo:    topo,
+		coord:   cluster.NewCoordinator(topo),
+		events:  make(chan Event, cfg.bufSize),
+	}
+	for _, name := range names {
+		c.sites = append(c.sites, &clusterSite{
+			name:  name,
+			hub:   NewHub(WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize)),
+			shard: NewResultsDB(),
+			edge:  store.NewEdgeStore(cfg.quota),
+		})
+	}
+	return c, nil
+}
+
+// Sites lists the edge site names in order.
+func (c *Cluster) Sites() []string { return c.topo.Sites() }
+
+// AddFeed registers a camera feed: the sharder assigns it to a site, whose
+// Hub runs it as a Session configured by opts. The returned string is the
+// assigned site name. The cluster owns the session's sink (the encoded
+// stream is archived in the site's EdgeStore), so WithSink is overridden.
+// Feed names are unique cluster-wide; adding after Run returns an error
+// wrapping ErrStarted.
+func (c *Cluster) AddFeed(name string, src FrameSource, opts ...SessionOption) (*Session, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil, "", fmt.Errorf("sieve: cluster: add feed %q: %w", name, ErrStarted)
+	}
+	// Reject duplicates before consulting the sharder: a failed AddFeed
+	// must not advance stateful policies (round-robin), or placement would
+	// stop being a pure function of the accepted feed sequence.
+	for _, s := range c.sites {
+		for _, f := range s.feeds {
+			if f.name == name {
+				return nil, "", fmt.Errorf("sieve: cluster: duplicate feed %q (on %s)", name, s.name)
+			}
+		}
+	}
+	loads := make([]SiteLoad, len(c.sites))
+	for i, s := range c.sites {
+		loads[i] = SiteLoad{Name: s.name, Feeds: len(s.feeds), Frames: s.frames}
+	}
+	idx, err := c.sharder.Assign(name, loads)
+	if err != nil {
+		return nil, "", fmt.Errorf("sieve: cluster: placing feed %q: %w", name, err)
+	}
+	if idx < 0 || idx >= len(c.sites) {
+		return nil, "", fmt.Errorf("sieve: cluster: sharder %s placed feed %q on site %d of %d",
+			c.sharder.Name(), name, idx, len(c.sites))
+	}
+	site := c.sites[idx]
+	sink := &container.Buffer{}
+	opts = append(opts[:len(opts):len(opts)], WithSink(sink))
+	sess, err := site.hub.Add(name, src, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	site.feeds = append(site.feeds, &clusterFeed{name: name, sess: sess, sink: sink})
+	if n := src.Info().Frames; n > 0 {
+		site.frames += n
+	}
+	return sess, site.name, nil
+}
+
+// Events returns the cluster-wide event stream: every site's events,
+// tagged with their Site, merged onto one channel. Closed when Run returns.
+func (c *Cluster) Events() <-chan Event { return c.events }
+
+// Run executes every site concurrently — each site's Hub over its own
+// pool — records detections into the site shards, meters the uplinks,
+// archives completed streams into the per-site edge stores, then merges
+// the shards in the cloud. Site failures are isolated exactly like Hub
+// feed failures: Run returns the joined per-site errors plus any merge
+// conflict. Run may be called once (ErrAlreadyRun) and needs at least one
+// feed (ErrNoFeeds).
+func (c *Cluster) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("sieve: cluster: %w", ErrAlreadyRun)
+	}
+	c.started = true
+	sites := append([]*clusterSite(nil), c.sites...)
+	c.mu.Unlock()
+
+	total := 0
+	for _, s := range sites {
+		total += len(s.feeds)
+	}
+	if total == 0 {
+		close(c.events)
+		return fmt.Errorf("sieve: cluster: %w", ErrNoFeeds)
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range sites {
+		wg.Add(1)
+		go func(s *clusterSite) {
+			defer wg.Done()
+			err := c.runSite(ctx, s)
+			c.mu.Lock()
+			s.err = err
+			c.mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	close(c.events)
+
+	merged, mergeErr := c.coord.MergeAll()
+	c.mu.Lock()
+	c.merged = merged
+	c.mu.Unlock()
+
+	var errs []error
+	for _, s := range sites {
+		c.mu.Lock()
+		err := s.err
+		c.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("site %s: %w", s.name, err))
+		}
+	}
+	if mergeErr != nil {
+		errs = append(errs, mergeErr)
+	}
+	return errors.Join(errs...)
+}
+
+// runSite drives one edge site: pump its hub's events (recording
+// detections into the shard and metering the uplink), run the hub, archive
+// the encoded streams, and ship the shard report to the cloud.
+func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
+	var (
+		pump    sync.WaitGroup
+		pumpErr error // owned by the pump goroutine until pump.Wait
+	)
+	pump.Add(1)
+	go func() {
+		defer pump.Done()
+		for ev := range s.hub.Events() {
+			ev.Site = s.name
+			switch ev.Kind {
+			case EventDetection:
+				// The edge records locally and ships the tiny detection
+				// record upstream — the frame payload never crosses the WAN.
+				s.shard.Put(ev.Feed, ev.Frame, ev.Labels)
+				if err := c.coord.ShipDetection(s.name, ev.Feed, ev.Labels); err != nil && pumpErr == nil {
+					pumpErr = err
+				}
+			case EventStats:
+				if err := c.coord.ShipStats(s.name); err != nil && pumpErr == nil {
+					pumpErr = err
+				}
+			}
+			select {
+			case c.events <- ev:
+			case <-ctx.Done():
+				// Mirror Hub.Run: sessions unblock themselves on
+				// cancellation; drain so the hub can close its channel.
+				for range s.hub.Events() {
+				}
+				return
+			}
+		}
+	}()
+
+	runErr := s.hub.Run(ctx)
+	if len(s.feeds) == 0 && errors.Is(runErr, ErrNoFeeds) {
+		// A site the sharder left empty is healthy; running its (empty) hub
+		// only serves to close the event channel for the pump.
+		runErr = nil
+	}
+	pump.Wait()
+
+	var errs []error
+	if runErr != nil {
+		errs = append(errs, runErr)
+	}
+	if pumpErr != nil {
+		errs = append(errs, pumpErr)
+	}
+
+	// Archive completed streams in the site's edge store (failed feeds have
+	// no finalised stream to retain).
+	feedErrs := make(map[string]string, len(s.feeds))
+	for _, fs := range s.hub.Snapshot().Feeds {
+		feedErrs[fs.Feed] = fs.Err
+	}
+	for _, f := range s.feeds {
+		if feedErrs[f.name] != "" {
+			continue
+		}
+		if err := s.edge.Put(f.name, f.sink); err != nil {
+			errs = append(errs, fmt.Errorf("archiving feed %s: %w", f.name, err))
+		}
+	}
+
+	// Ship the end-of-run shard sync.
+	st := s.hub.Snapshot()
+	if err := c.coord.Submit(cluster.Report{
+		Site:         s.name,
+		Shard:        s.shard,
+		Frames:       st.Frames,
+		IFrames:      st.IFrames,
+		Detections:   st.Detections,
+		PayloadBytes: st.PayloadBytes,
+	}); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Merged returns the cloud's merged global ResultsDB. Only available after
+// Run has completed (and merged without conflicts).
+func (c *Cluster) Merged() (*ResultsDB, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.merged == nil {
+		return nil, errors.New("sieve: cluster: no merged view: Run has not completed, or the merge failed (see Run's error)")
+	}
+	return c.merged, nil
+}
+
+// Query answers "which frames of camera show class" on the merged view.
+func (c *Cluster) Query(camera, class string, from, to int) ([]int, error) {
+	if _, err := c.Merged(); err != nil {
+		return nil, err
+	}
+	return c.coord.Query(camera, class, from, to)
+}
+
+// Track materialises a camera's propagated per-frame labels from the
+// merged view.
+func (c *Cluster) Track(camera string, numFrames int) (LabelTrack, error) {
+	if _, err := c.Merged(); err != nil {
+		return nil, err
+	}
+	return c.coord.Track(camera, numFrames)
+}
+
+// EdgeStore returns a site's edge store (the encoded streams it retained).
+func (c *Cluster) EdgeStore(site string) (*EdgeStoreDB, error) {
+	for _, s := range c.sites {
+		if s.name == site {
+			return s.edge, nil
+		}
+	}
+	return nil, fmt.Errorf("sieve: cluster: unknown site %q", site)
+}
+
+// SeekEvent locates the GOP containing a camera's frame, searching every
+// site's edge store (post-event analysis does not need to know the
+// sharding). It returns the frame metadata and the owning site.
+func (c *Cluster) SeekEvent(camera string, target int) (FrameMeta, string, error) {
+	for _, s := range c.sites {
+		for _, stored := range s.edge.Cameras() {
+			if stored == camera {
+				m, err := s.edge.SeekEvent(camera, target)
+				return m, s.name, err
+			}
+		}
+	}
+	return FrameMeta{}, "", fmt.Errorf("sieve: cluster: no site stores camera %q", camera)
+}
+
+// SiteStats is one edge site's snapshot: its hub counters plus uplink and
+// storage accounting.
+type SiteStats struct {
+	// Site is the site name.
+	Site string
+	// Hub is the site's per-feed and aggregate hub snapshot.
+	Hub HubStats
+	// UplinkBytes / UplinkTransfers / UplinkBusy meter the site's
+	// edge→cloud link (detections + stats + shard sync).
+	UplinkBytes     int64
+	UplinkTransfers int64
+	UplinkBusy      time.Duration
+	// StoredBytes is the site's edge-store usage.
+	StoredBytes int64
+	// Err is the site's terminal error message ("" while running or on
+	// success).
+	Err string
+}
+
+// ClusterStats aggregates a snapshot across sites.
+type ClusterStats struct {
+	// Sites lists per-site stats in site order.
+	Sites []SiteStats
+	// Frames/IFrames/Detections/PayloadBytes are cluster-wide totals.
+	Frames       int
+	IFrames      int
+	Detections   int
+	PayloadBytes int64
+	// UplinkBytes is the total shipped over every site's uplink.
+	UplinkBytes int64
+	// MergedEntries counts (camera, frame) rows in the merged view (0
+	// before Run completes).
+	MergedEntries int
+}
+
+// FilterRate is the cluster-wide share of frames dropped at the edges.
+func (st ClusterStats) FilterRate() float64 {
+	if st.Frames == 0 {
+		return 0
+	}
+	return 1 - float64(st.IFrames)/float64(st.Frames)
+}
+
+// Snapshot reports per-site and aggregate counters; safe to call while Run
+// is in flight.
+func (c *Cluster) Snapshot() ClusterStats {
+	c.mu.Lock()
+	sites := append([]*clusterSite(nil), c.sites...)
+	merged := c.merged
+	c.mu.Unlock()
+	st := ClusterStats{Sites: make([]SiteStats, 0, len(sites))}
+	if merged != nil {
+		st.MergedEntries = merged.Len()
+	}
+	for _, s := range sites {
+		ss := SiteStats{Site: s.name, Hub: s.hub.Snapshot(), StoredBytes: s.edge.Used()}
+		if bytes, transfers, busy, err := c.coord.UplinkStats(s.name); err == nil {
+			ss.UplinkBytes, ss.UplinkTransfers, ss.UplinkBusy = bytes, transfers, busy
+		}
+		c.mu.Lock()
+		if s.err != nil {
+			ss.Err = s.err.Error()
+		}
+		c.mu.Unlock()
+		st.Sites = append(st.Sites, ss)
+		st.Frames += ss.Hub.Frames
+		st.IFrames += ss.Hub.IFrames
+		st.Detections += ss.Hub.Detections
+		st.PayloadBytes += ss.Hub.PayloadBytes
+		st.UplinkBytes += ss.UplinkBytes
+	}
+	return st
+}

@@ -1,0 +1,52 @@
+package sieve
+
+import (
+	"context"
+	"testing"
+)
+
+// benchmarkCluster measures full cluster throughput — encode, shard
+// bookkeeping, uplink metering, edge archival and the cloud merge — for a
+// fixed 4-camera fleet at K sites. The custom feeds/s metric is the
+// headline: on one core more sites cannot add speed (the work is
+// CPU-bound), so the interesting read is how little the sharding plane
+// costs as K grows.
+func benchmarkCluster(b *testing.B, sites int) {
+	det := trainedTestDetector(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(sites, WithSharder(ShardRoundRobin()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cam := range clusterCameras {
+			if _, _, err := c.AddFeed(cam.name, NewSynthSource(clusterScene(b, cam.seed, cam.enter)),
+				WithClock(testClock()), WithDetector(det)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range c.Events() {
+			}
+		}()
+		if err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+		if _, err := c.Merged(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(clusterCameras)*b.N)/elapsed, "feeds/s")
+	}
+}
+
+func BenchmarkClusterSites1(b *testing.B) { benchmarkCluster(b, 1) }
+func BenchmarkClusterSites2(b *testing.B) { benchmarkCluster(b, 2) }
+func BenchmarkClusterSites4(b *testing.B) { benchmarkCluster(b, 4) }

@@ -10,10 +10,12 @@
 //	sieve encode -dataset jackson_square -seconds 30 -gop 50 -scenecut 200 -out feed.svf
 //	sieve stream -feeds 3                      # concurrent synth+replay+push feeds
 //	sieve stream -feeds 3 -gop 50 -scenecut 200 -realtime
+//	sieve cluster -feeds 6 -sites 3            # sharded edge sites + cloud merge
 //	sieve seek   -in feed.svf
 //	sieve info   -in feed.svf
 //
-// Run `sieve stream -h` for the per-feed source kinds and report columns.
+// Run `sieve stream -h` for the per-feed source kinds and report columns,
+// and `sieve cluster -h` for the multi-site sharding report.
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		cmdTune(os.Args[2:])
 	case "stream":
 		cmdStream(os.Args[2:])
+	case "cluster":
+		cmdCluster(os.Args[2:])
 	case "seek":
 		cmdSeek(os.Args[2:])
 	case "info":
@@ -56,14 +60,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|seek|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|cluster|seek|info> [flags]
 
-  gen     render a synthetic preset and encode it with default parameters
-  encode  render and encode with explicit -gop/-scenecut
-  tune    offline GOP x scenecut sweep, optionally updating a lookup table
-  stream  run N concurrent feeds (synth, SVF replay, push) through the hub
-  seek    list a stream's I-frames from metadata only
-  info    print a stream's header and byte accounting
+  gen      render a synthetic preset and encode it with default parameters
+  encode   render and encode with explicit -gop/-scenecut
+  tune     offline GOP x scenecut sweep, optionally updating a lookup table
+  stream   run N concurrent feeds (synth, SVF replay, push) through the hub
+  cluster  shard N feeds over K edge sites with a cloud results-merge plane
+  seek     list a stream's I-frames from metadata only
+  info     print a stream's header and byte accounting
 
 Run 'sieve <command> -h' for the command's flags.`)
 	os.Exit(2)

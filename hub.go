@@ -9,6 +9,21 @@ import (
 	"sieve/internal/runner"
 )
 
+// Lifecycle errors shared by Hub and Cluster. They are wrapped with
+// context (which hub/cluster, which feed), so match with errors.Is.
+var (
+	// ErrStarted is returned by Hub.Add and Cluster.AddFeed once Run has
+	// been called: the feed set is frozen at Run.
+	ErrStarted = errors.New("feeds cannot be added after Run has started")
+	// ErrNoFeeds is returned by Run on a hub or cluster with no feeds —
+	// running an empty topology is almost always a wiring bug, so it is an
+	// error, not a silent no-op.
+	ErrNoFeeds = errors.New("no feeds")
+	// ErrAlreadyRun is returned by a second Run call: hubs and clusters are
+	// single-shot (their sessions cannot be rewound).
+	ErrAlreadyRun = errors.New("Run already called")
+)
+
 // HubOption configures a Hub.
 type HubOption func(*Hub)
 
@@ -87,12 +102,13 @@ func NewHub(opts ...HubOption) *Hub {
 }
 
 // Add registers a feed: a named session over src, configured like any
-// Session (the name overrides WithName). Feeds cannot be added after Run.
+// Session (the name overrides WithName). Feeds cannot be added once Run has
+// started: Add then returns an error wrapping ErrStarted.
 func (h *Hub) Add(name string, src FrameSource, opts ...SessionOption) (*Session, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.started {
-		return nil, fmt.Errorf("sieve: hub: cannot add feed %q after Run", name)
+		return nil, fmt.Errorf("sieve: hub: add feed %q: %w", name, ErrStarted)
 	}
 	for _, f := range h.feeds {
 		if f.name == name {
@@ -114,7 +130,9 @@ func (h *Hub) Events() <-chan Event { return h.events }
 // Run executes every feed's session over the worker pool and blocks until
 // all complete. A feed error cancels that feed only; Run returns the joined
 // feed errors (nil when every feed succeeded). Cancelling ctx stops all
-// feeds. Run may be called once.
+// feeds. Run may be called once: a second call returns an error wrapping
+// ErrAlreadyRun, and a Run with no feeds returns one wrapping ErrNoFeeds
+// (closing Events either way, so consumers never hang).
 func (h *Hub) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -122,14 +140,14 @@ func (h *Hub) Run(ctx context.Context) error {
 	h.mu.Lock()
 	if h.started {
 		h.mu.Unlock()
-		return errors.New("sieve: hub: already run")
+		return fmt.Errorf("sieve: hub: %w", ErrAlreadyRun)
 	}
 	h.started = true
 	feeds := append([]*hubFeed(nil), h.feeds...)
 	h.mu.Unlock()
 	if len(feeds) == 0 {
 		close(h.events)
-		return errors.New("sieve: hub: no feeds")
+		return fmt.Errorf("sieve: hub: %w", ErrNoFeeds)
 	}
 
 	// Forward each session's events onto the merged channel.

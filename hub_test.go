@@ -240,9 +240,14 @@ func TestHubParentCancellationStopsAllFeeds(t *testing.T) {
 }
 
 func TestHubGuards(t *testing.T) {
+	// Run with zero feeds: documented ErrNoFeeds, and Events still closes
+	// so a concurrent consumer cannot hang.
 	hub := NewHub()
-	if err := func() error { return hub.Run(context.Background()) }(); err == nil {
-		t.Fatal("empty hub Run accepted")
+	if err := hub.Run(context.Background()); !errors.Is(err, ErrNoFeeds) {
+		t.Fatalf("empty hub Run = %v, want ErrNoFeeds", err)
+	}
+	if _, open := <-hub.Events(); open {
+		t.Fatal("Events not closed after empty Run")
 	}
 
 	hub2 := NewHub(WithWorkers(1))
@@ -260,10 +265,27 @@ func TestHubGuards(t *testing.T) {
 	if err := hub2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := hub2.Add("b", NewSynthSource(v)); err == nil {
-		t.Fatal("Add after Run accepted")
+	// Add after Run has started: documented ErrStarted, naming the feed.
+	if _, err := hub2.Add("b", NewSynthSource(v)); !errors.Is(err, ErrStarted) {
+		t.Fatalf("Add after Run = %v, want ErrStarted", err)
+	} else if !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("ErrStarted does not name the feed: %v", err)
 	}
-	if err := hub2.Run(context.Background()); err == nil {
-		t.Fatal("double Run accepted")
+	// Double Run: documented ErrAlreadyRun.
+	if err := hub2.Run(context.Background()); !errors.Is(err, ErrAlreadyRun) {
+		t.Fatalf("double Run = %v, want ErrAlreadyRun", err)
+	}
+}
+
+func TestHubEmptyRunThenSecondRunStillErrAlreadyRun(t *testing.T) {
+	// The zero-feed Run consumes the single shot: a later Run (even after
+	// adding nothing) reports ErrAlreadyRun, not ErrNoFeeds, and must not
+	// close the already-closed event channel.
+	hub := NewHub()
+	if err := hub.Run(context.Background()); !errors.Is(err, ErrNoFeeds) {
+		t.Fatalf("first empty Run = %v, want ErrNoFeeds", err)
+	}
+	if err := hub.Run(context.Background()); !errors.Is(err, ErrAlreadyRun) {
+		t.Fatalf("second Run = %v, want ErrAlreadyRun", err)
 	}
 }

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sieve/internal/labels"
+	"sieve/internal/simnet"
+	"sieve/internal/store"
+)
+
+// Wire-size model for the uplink: what one shipped record costs in bytes.
+// The numbers are a deterministic stand-in for a serialisation format —
+// what matters for the Figure-5-style accounting is that detections are
+// tiny next to frame payloads.
+const (
+	// detectionOverheadBytes covers the frame id, camera-name length
+	// prefixes and record framing of one shipped detection.
+	detectionOverheadBytes = 12
+	// statsWireBytes is one shipped SessionStats snapshot.
+	statsWireBytes = 48
+	// reportOverheadBytes is the fixed header of a shard sync.
+	reportOverheadBytes = 64
+)
+
+// DetectionWireBytes models the uplink payload of one shipped detection
+// record: camera name + canonical label set + framing.
+func DetectionWireBytes(camera string, ls labels.Set) int64 {
+	return int64(len(camera) + len(ls.Key()) + detectionOverheadBytes)
+}
+
+// ShardWireBytes models the payload of a full shard sync: every stored
+// (camera, frame) entry at detection wire size plus the report header.
+func ShardWireBytes(db *store.ResultsDB) int64 {
+	n := int64(reportOverheadBytes)
+	for _, cam := range db.Cameras() {
+		for _, id := range db.AnalysedFrames(cam) {
+			ls, _ := db.Get(cam, id)
+			n += DetectionWireBytes(cam, ls)
+		}
+	}
+	return n
+}
+
+// Report is the shard-sync record one edge site ships to the cloud when its
+// feeds finish: its results-database shard plus its final counters.
+type Report struct {
+	Site         string
+	Shard        *store.ResultsDB
+	Frames       int
+	IFrames      int
+	Detections   int
+	PayloadBytes int64
+}
+
+// Coordinator is the cloud side of the cluster (the "results database" box
+// of Figure 1, scaled out): it meters everything the edge sites ship over
+// their uplinks and merges the per-site ResultsDB shards into one
+// conflict-checked global view that serves cross-camera queries.
+type Coordinator struct {
+	topo *Topology
+
+	mu      sync.Mutex
+	reports map[string]Report
+	merged  *store.ResultsDB
+}
+
+// NewCoordinator builds a coordinator over the given star topology.
+func NewCoordinator(topo *Topology) *Coordinator {
+	return &Coordinator{topo: topo, reports: make(map[string]Report)}
+}
+
+func (c *Coordinator) uplink(site string) (*simnet.Link, error) {
+	l, ok := c.topo.Uplink(site)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown site %q", site)
+	}
+	return l, nil
+}
+
+// ShipDetection accounts one detection record crossing a site's uplink
+// during the run (the streaming plane: I-frame results flow upstream as
+// they are produced).
+func (c *Coordinator) ShipDetection(site, camera string, ls labels.Set) error {
+	l, err := c.uplink(site)
+	if err != nil {
+		return err
+	}
+	l.Send(DetectionWireBytes(camera, ls))
+	return nil
+}
+
+// ShipStats accounts one stats snapshot crossing a site's uplink.
+func (c *Coordinator) ShipStats(site string) error {
+	l, err := c.uplink(site)
+	if err != nil {
+		return err
+	}
+	l.Send(statsWireBytes)
+	return nil
+}
+
+// Submit records a site's final shard report, accounting the full shard
+// sync on the site's uplink (the control plane: a durable end-of-run sync,
+// redundant with the streamed detections by design — the merge is what gets
+// conflict-checked). Each site may submit once.
+func (c *Coordinator) Submit(rep Report) error {
+	l, err := c.uplink(rep.Site)
+	if err != nil {
+		return err
+	}
+	if rep.Shard == nil {
+		return fmt.Errorf("cluster: site %q submitted a nil shard", rep.Site)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.reports[rep.Site]; dup {
+		return fmt.Errorf("cluster: site %q submitted twice", rep.Site)
+	}
+	c.reports[rep.Site] = rep
+	l.Send(ShardWireBytes(rep.Shard))
+	return nil
+}
+
+// Reports returns the submitted reports sorted by site name.
+func (c *Coordinator) Reports() []Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Report, 0, len(c.reports))
+	for _, r := range c.reports {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// MergeAll folds every submitted shard into a fresh global ResultsDB, in
+// sorted site order so the outcome (and any reported conflict) never
+// depends on submission scheduling. On a conflict the merged view built so
+// far is discarded and the error names the offending (camera, frame). The
+// merged database is retained for Merged/Query/Track.
+func (c *Coordinator) MergeAll() (*store.ResultsDB, error) {
+	merged := store.NewResultsDB()
+	for _, rep := range c.Reports() {
+		if err := merged.Merge(rep.Shard); err != nil {
+			return nil, fmt.Errorf("cluster: merging shard of site %s: %w", rep.Site, err)
+		}
+	}
+	c.mu.Lock()
+	c.merged = merged
+	c.mu.Unlock()
+	return merged, nil
+}
+
+// Merged returns the global view built by MergeAll (nil before it).
+func (c *Coordinator) Merged() *store.ResultsDB {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merged
+}
+
+// Query answers the cross-camera "find every <class>" query on the merged
+// view. It errors before MergeAll.
+func (c *Coordinator) Query(camera, class string, from, to int) ([]int, error) {
+	m := c.Merged()
+	if m == nil {
+		return nil, fmt.Errorf("cluster: query before merge")
+	}
+	return m.Query(camera, class, from, to), nil
+}
+
+// Track materialises a camera's propagated label track from the merged
+// view. It errors before MergeAll.
+func (c *Coordinator) Track(camera string, numFrames int) (labels.Track, error) {
+	m := c.Merged()
+	if m == nil {
+		return nil, fmt.Errorf("cluster: track before merge")
+	}
+	return m.Track(camera, numFrames), nil
+}
+
+// UplinkStats reports a site's uplink meter: bytes, transfer count, and
+// accumulated (virtual) busy time.
+func (c *Coordinator) UplinkStats(site string) (bytes, transfers int64, busy time.Duration, err error) {
+	l, lerr := c.uplink(site)
+	if lerr != nil {
+		return 0, 0, 0, lerr
+	}
+	bytes, transfers, busy = l.Stats()
+	return bytes, transfers, busy, nil
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sieve/internal/labels"
+	"sieve/internal/store"
+)
+
+func testTopo(t *testing.T, names ...string) *Topology {
+	t.Helper()
+	topo, err := NewStarTopology(names, 30e6, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestStarTopology(t *testing.T) {
+	topo := testTopo(t, "site0", "site1")
+	if got := topo.Sites(); len(got) != 2 || got[0] != "site0" || got[1] != "site1" {
+		t.Fatalf("Sites = %v", got)
+	}
+	l, ok := topo.Uplink("site1")
+	if !ok || l.Name() != "site1-cloud" {
+		t.Fatalf("Uplink(site1) = %v, %v", l, ok)
+	}
+	if _, ok := topo.Uplink("nope"); ok {
+		t.Fatal("unknown site has an uplink")
+	}
+	if _, err := NewStarTopology([]string{"a", "a"}, 0, -1); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	if _, err := NewStarTopology(nil, 0, -1); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	// Defaults kick in for non-positive bandwidth / negative latency.
+	def, err := NewStarTopology([]string{"s"}, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ = def.Uplink("s")
+	if l.Bandwidth() != DefaultUplinkBps {
+		t.Fatalf("default bandwidth = %g", l.Bandwidth())
+	}
+}
+
+func TestCoordinatorMetersUplinks(t *testing.T) {
+	topo := testTopo(t, "site0", "site1")
+	c := NewCoordinator(topo)
+	ls := labels.NewSet("car")
+
+	if err := c.ShipDetection("site0", "cam0", ls); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShipStats("site0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShipDetection("ghost", "cam0", ls); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+
+	bytes, transfers, busy, err := c.UplinkStats("site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DetectionWireBytes("cam0", ls) + statsWireBytes
+	if bytes != want || transfers != 2 {
+		t.Fatalf("site0 uplink = %d bytes / %d transfers, want %d / 2", bytes, transfers, want)
+	}
+	if busy <= 0 {
+		t.Fatal("uplink busy time not accounted")
+	}
+	if b1, _, _, _ := otherStats(c, "site1"); b1 != 0 {
+		t.Fatalf("site1 uplink saw %d bytes without traffic", b1)
+	}
+}
+
+func otherStats(c *Coordinator, site string) (int64, int64, time.Duration, error) {
+	return c.UplinkStats(site)
+}
+
+func TestCoordinatorMergeAllDisjointShards(t *testing.T) {
+	topo := testTopo(t, "site0", "site1")
+	c := NewCoordinator(topo)
+
+	shard0 := store.NewResultsDB()
+	shard0.Put("cam0", 0, labels.NewSet("car"))
+	shard0.Put("cam0", 9, labels.NewSet("bus"))
+	shard1 := store.NewResultsDB()
+	shard1.Put("cam1", 4, labels.NewSet("person"))
+
+	if _, err := c.Query("cam0", "car", 0, 10); err == nil {
+		t.Fatal("query before merge accepted")
+	}
+	if err := c.Submit(Report{Site: "site1", Shard: shard1, Detections: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(Report{Site: "site0", Shard: shard0, Detections: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(Report{Site: "site0", Shard: shard0}); err == nil {
+		t.Fatal("double submit accepted")
+	}
+	if err := c.Submit(Report{Site: "ghost", Shard: shard0}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+
+	reps := c.Reports()
+	if len(reps) != 2 || reps[0].Site != "site0" || reps[1].Site != "site1" {
+		t.Fatalf("Reports not in site order: %+v", reps)
+	}
+
+	merged, err := c.MergeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("merged entries = %d, want 3", merged.Len())
+	}
+	// Cross-camera serving straight off the merged view.
+	frames, err := c.Query("cam0", "car", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 9 || frames[0] != 0 {
+		t.Fatalf("Query = %v (propagated car frames 0..8)", frames)
+	}
+	tr, err := c.Track("cam1", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr[5].Contains("person") || !tr[4].Contains("person") || len(tr[3]) != 0 {
+		t.Fatalf("Track = %v", tr)
+	}
+	if c.Merged() != merged {
+		t.Fatal("Merged() does not return the MergeAll result")
+	}
+	// The shard sync itself was metered.
+	b, _, _, err := c.UplinkStats("site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != ShardWireBytes(shard0) {
+		t.Fatalf("site0 uplink = %d bytes, want shard sync %d", b, ShardWireBytes(shard0))
+	}
+}
+
+func TestCoordinatorMergeConflict(t *testing.T) {
+	topo := testTopo(t, "site0", "site1")
+	c := NewCoordinator(topo)
+
+	a := store.NewResultsDB()
+	a.Put("cam", 5, labels.NewSet("car"))
+	b := store.NewResultsDB()
+	b.Put("cam", 5, labels.NewSet("bus"))
+	if err := c.Submit(Report{Site: "site0", Shard: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(Report{Site: "site1", Shard: b}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.MergeAll()
+	var mc *store.MergeConflictError
+	if !errors.As(err, &mc) {
+		t.Fatalf("MergeAll error = %v, want MergeConflictError", err)
+	}
+	if mc.Camera != "cam" || mc.Frame != 5 {
+		t.Fatalf("conflict at %s/%d, want cam/5", mc.Camera, mc.Frame)
+	}
+	if !strings.Contains(err.Error(), "site1") {
+		t.Fatalf("error does not name the conflicting site: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package cluster implements the multi-site scale-out plane of the SiEVE
+// reproduction: pluggable sharders that place camera feeds onto edge sites,
+// a star topology of metered site→cloud uplinks, and the cloud-side
+// coordinator that merges per-site results-database shards into one
+// conflict-checked global view. The paper's Figure 1 splits SiEVE across
+// one edge and one cloud; this package scales the edge half to K sites
+// while keeping the cloud's results database a single logical store.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// SiteLoad is one edge site's placement-relevant state at assignment time.
+type SiteLoad struct {
+	// Name is the site's stable name.
+	Name string
+	// Feeds is how many feeds are already assigned to the site.
+	Feeds int
+	// Frames is the total expected frame count of those feeds (bounded
+	// sources only; live/unbounded feeds contribute 0).
+	Frames int
+}
+
+// Sharder places a feed onto one of the cluster's edge sites. Assign
+// returns an index into sites. Implementations must be deterministic: the
+// same sequence of (feed, sites) inputs always yields the same indices —
+// placement is part of the cluster's reproducibility contract. Assign calls
+// are serialised by the cluster, so implementations may keep unsynchronised
+// state.
+type Sharder interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// Assign returns the index of the chosen site.
+	Assign(feed string, sites []SiteLoad) (int, error)
+}
+
+// StaticHash shards by FNV-1a hash of the feed name modulo the site count:
+// stateless and stable under feed re-ordering (a camera always lands on the
+// same site for a given cluster size). The default policy.
+type StaticHash struct{}
+
+// Name implements Sharder.
+func (StaticHash) Name() string { return "hash" }
+
+// Assign implements Sharder.
+func (StaticHash) Assign(feed string, sites []SiteLoad) (int, error) {
+	if len(sites) == 0 {
+		return 0, fmt.Errorf("cluster: sharder %s: no sites", StaticHash{}.Name())
+	}
+	h := fnv.New64a()
+	h.Write([]byte(feed))
+	return int(h.Sum64() % uint64(len(sites))), nil
+}
+
+// RoundRobin cycles through sites in assignment order, ignoring load: feed
+// i lands on site i mod K. Placement depends on Add order, not feed names.
+type RoundRobin struct{ next int }
+
+// Name implements Sharder.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Assign implements Sharder.
+func (r *RoundRobin) Assign(feed string, sites []SiteLoad) (int, error) {
+	if len(sites) == 0 {
+		return 0, fmt.Errorf("cluster: sharder %s: no sites", (*RoundRobin)(nil).Name())
+	}
+	i := r.next % len(sites)
+	r.next++
+	return i, nil
+}
+
+// LeastBusy is the load-aware policy: it picks the site with the fewest
+// expected frames, breaking ties by fewest feeds and then by lowest index
+// (so placement stays deterministic even when every site is idle).
+type LeastBusy struct{}
+
+// Name implements Sharder.
+func (LeastBusy) Name() string { return "leastbusy" }
+
+// Assign implements Sharder.
+func (LeastBusy) Assign(feed string, sites []SiteLoad) (int, error) {
+	if len(sites) == 0 {
+		return 0, fmt.Errorf("cluster: sharder %s: no sites", LeastBusy{}.Name())
+	}
+	best := 0
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Frames < sites[best].Frames ||
+			(sites[i].Frames == sites[best].Frames && sites[i].Feeds < sites[best].Feeds) {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// ByName returns a built-in sharder for a CLI/flag name: "hash" (or
+// "static"), "roundrobin" (or "rr"), "leastbusy" (or "least-busy").
+func ByName(name string) (Sharder, error) {
+	switch name {
+	case "hash", "static":
+		return StaticHash{}, nil
+	case "roundrobin", "rr":
+		return &RoundRobin{}, nil
+	case "leastbusy", "least-busy":
+		return LeastBusy{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown sharder %q (want hash, roundrobin or leastbusy)", name)
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func sites(n int) []SiteLoad {
+	out := make([]SiteLoad, n)
+	for i := range out {
+		out[i].Name = "site" + string(rune('0'+i))
+	}
+	return out
+}
+
+func TestStaticHashDeterministicAndInRange(t *testing.T) {
+	s := StaticHash{}
+	for _, k := range []int{1, 2, 3, 5} {
+		seen := make(map[int]bool)
+		for _, feed := range []string{"cam-a", "cam-b", "cam-c", "cam-d", "cam-e", "cam-f"} {
+			i, err := s.Assign(feed, sites(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i < 0 || i >= k {
+				t.Fatalf("hash(%s) over %d sites = %d, out of range", feed, k, i)
+			}
+			j, _ := s.Assign(feed, sites(k))
+			if i != j {
+				t.Fatalf("hash(%s) not stable: %d then %d", feed, i, j)
+			}
+			seen[i] = true
+		}
+		if k > 1 && len(seen) < 2 {
+			t.Fatalf("hash over %d sites sent all feeds to one site", k)
+		}
+	}
+	if _, err := s.Assign("cam", nil); err == nil {
+		t.Fatal("no sites accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := &RoundRobin{}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for n, w := range want {
+		i, err := r.Assign("feed", sites(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != w {
+			t.Fatalf("assignment %d = site %d, want %d", n, i, w)
+		}
+	}
+	if _, err := (&RoundRobin{}).Assign("feed", nil); err == nil {
+		t.Fatal("no sites accepted")
+	}
+}
+
+func TestLeastBusyPicksLightestSite(t *testing.T) {
+	s := LeastBusy{}
+	loads := []SiteLoad{
+		{Name: "a", Feeds: 2, Frames: 500},
+		{Name: "b", Feeds: 1, Frames: 100},
+		{Name: "c", Feeds: 3, Frames: 300},
+	}
+	if i, _ := s.Assign("feed", loads); i != 1 {
+		t.Fatalf("picked site %d, want 1 (fewest frames)", i)
+	}
+	// Frame tie: fewer feeds wins.
+	loads[1].Frames = 500
+	loads[1].Feeds = 4
+	loads[2].Frames = 500
+	if i, _ := s.Assign("feed", loads); i != 0 {
+		t.Fatalf("picked site %d, want 0 (frame tie, fewest feeds)", i)
+	}
+	// Full tie: lowest index wins (deterministic idle placement).
+	idle := sites(3)
+	if i, _ := s.Assign("feed", idle); i != 0 {
+		t.Fatalf("picked site %d on full tie, want 0", i)
+	}
+	if _, err := s.Assign("feed", nil); err == nil {
+		t.Fatal("no sites accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"hash": "hash", "static": "hash",
+		"roundrobin": "roundrobin", "rr": "roundrobin",
+		"leastbusy": "leastbusy", "least-busy": "leastbusy",
+	} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if s.Name() != want {
+			t.Fatalf("ByName(%s).Name() = %s, want %s", name, s.Name(), want)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown sharder accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -68,6 +69,31 @@ func (db *ResultsDB) LabelsAt(camera string, frameID int) labels.Set {
 	return out
 }
 
+// Cameras returns the sorted camera keys with at least one stored result.
+func (db *ResultsDB) Cameras() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byCamera))
+	for cam := range db.byCamera {
+		if len(db.byCamera[cam]) > 0 {
+			out = append(out, cam)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of stored (camera, frame) entries.
+func (db *ResultsDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, m := range db.byCamera {
+		n += len(m)
+	}
+	return n
+}
+
 // AnalysedFrames returns the sorted frame IDs with stored results.
 func (db *ResultsDB) AnalysedFrames(camera string) []int {
 	db.mu.RLock()
@@ -114,13 +140,138 @@ func (db *ResultsDB) Query(camera, class string, from, to int) []int {
 	return out
 }
 
+// MergeConflictError reports the first (camera, frame) pair whose stored
+// labels disagree between the two databases being merged. "First" is
+// deterministic: cameras and frames are compared in sorted order.
+type MergeConflictError struct {
+	Camera         string
+	Frame          int
+	Have, Incoming labels.Set
+}
+
+func (e *MergeConflictError) Error() string {
+	return fmt.Sprintf("store: merge conflict at %s/%d: have [%s], incoming [%s]",
+		e.Camera, e.Frame, e.Have.Key(), e.Incoming.Key())
+}
+
+// Merge folds other into db — the primitive the cluster coordinator builds
+// its global view on. Semantics:
+//
+//   - entries for (camera, frame) pairs absent from db are inserted;
+//   - entries present in both with Equal label sets are idempotent no-ops
+//     (two sites re-analysing the same frame agree silently);
+//   - entries present in both with different label sets are a conflict:
+//     Merge returns a *MergeConflictError naming the first conflicting pair
+//     in (camera, frame) sorted order and db is left completely unchanged
+//     (validation runs before any write, so a failed Merge is atomic);
+//   - a nil or empty other — and merging a database into itself — is a
+//     no-op.
+//
+// Merge snapshots other under its read lock before writing db, so merging
+// two databases into each other concurrently cannot deadlock.
+func (db *ResultsDB) Merge(other *ResultsDB) error {
+	if other == nil || other == db {
+		return nil
+	}
+	// Snapshot the incoming shard (label sets are canonical and treated as
+	// immutable, so sharing the slices is safe).
+	other.mu.RLock()
+	in := make(map[string]map[int]labels.Set, len(other.byCamera))
+	for cam, m := range other.byCamera {
+		fm := make(map[int]labels.Set, len(m))
+		for id, ls := range m {
+			fm[id] = ls
+		}
+		in[cam] = fm
+	}
+	other.mu.RUnlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Phase 1: validate, scanning in sorted order so the reported conflict
+	// is deterministic.
+	cams := make([]string, 0, len(in))
+	for cam := range in {
+		cams = append(cams, cam)
+	}
+	sort.Strings(cams)
+	for _, cam := range cams {
+		have, ok := db.byCamera[cam]
+		if !ok {
+			continue
+		}
+		ids := make([]int, 0, len(in[cam]))
+		for id := range in[cam] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ls, ok := have[id]
+			if !ok {
+				continue
+			}
+			if !ls.Equal(in[cam][id]) {
+				return &MergeConflictError{Camera: cam, Frame: id, Have: ls, Incoming: in[cam][id]}
+			}
+		}
+	}
+	// Phase 2: apply.
+	for cam, fm := range in {
+		have, ok := db.byCamera[cam]
+		if !ok {
+			have = make(map[int]labels.Set, len(fm))
+			db.byCamera[cam] = have
+		}
+		for id, ls := range fm {
+			have[id] = ls
+		}
+	}
+	return nil
+}
+
 // persisted is the JSON schema of a saved database.
 type persisted struct {
 	Cameras map[string]map[string][]string `json:"cameras"`
 }
 
-// Save writes the database as JSON.
+// Save writes the database as JSON. The write is atomic: the JSON is
+// written to a temp file in the destination directory and renamed over
+// path, so a crash mid-save (a dying edge site syncing its shard) can never
+// leave a torn, half-written file behind — readers see either the old
+// complete database or the new one.
 func (db *ResultsDB) Save(path string) error {
+	data, err := db.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: save results: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: save results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: save results: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: save results: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: save results: %w", err)
+	}
+	return nil
+}
+
+// MarshalIndent renders the database in its persisted JSON schema. Map keys
+// are sorted by encoding/json, so equal databases always marshal to
+// identical bytes — the property the cluster equivalence tests pin.
+func (db *ResultsDB) MarshalIndent() ([]byte, error) {
 	db.mu.RLock()
 	p := persisted{Cameras: make(map[string]map[string][]string, len(db.byCamera))}
 	for cam, m := range db.byCamera {
@@ -133,9 +284,9 @@ func (db *ResultsDB) Save(path string) error {
 	db.mu.RUnlock()
 	data, err := json.MarshalIndent(p, "", " ")
 	if err != nil {
-		return fmt.Errorf("store: marshal results: %w", err)
+		return nil, fmt.Errorf("store: marshal results: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
 // LoadResultsDB reads a database written by Save.

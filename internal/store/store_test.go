@@ -191,3 +191,164 @@ func TestResultsDBConcurrentAccess(t *testing.T) {
 		t.Fatalf("stored %d frames", got)
 	}
 }
+
+func TestResultsDBMerge(t *testing.T) {
+	mk := func(puts map[string]map[int]labels.Set) *ResultsDB {
+		db := NewResultsDB()
+		for cam, m := range puts {
+			for id, ls := range m {
+				db.Put(cam, id, ls)
+			}
+		}
+		return db
+	}
+	car := labels.NewSet("car")
+	bus := labels.NewSet("bus")
+	tests := []struct {
+		name     string
+		dst, src map[string]map[int]labels.Set
+		want     map[string]map[int]labels.Set
+		conflict *MergeConflictError
+	}{
+		{
+			name: "disjoint cameras",
+			dst:  map[string]map[int]labels.Set{"cam0": {0: car, 10: bus}},
+			src:  map[string]map[int]labels.Set{"cam1": {5: car}},
+			want: map[string]map[int]labels.Set{"cam0": {0: car, 10: bus}, "cam1": {5: car}},
+		},
+		{
+			name: "same camera disjoint frames",
+			dst:  map[string]map[int]labels.Set{"cam": {0: car}},
+			src:  map[string]map[int]labels.Set{"cam": {10: bus}},
+			want: map[string]map[int]labels.Set{"cam": {0: car, 10: bus}},
+		},
+		{
+			name: "overlapping frames equal labels are idempotent",
+			dst:  map[string]map[int]labels.Set{"cam": {0: car, 5: bus}},
+			src:  map[string]map[int]labels.Set{"cam": {5: labels.NewSet("bus"), 9: car}},
+			want: map[string]map[int]labels.Set{"cam": {0: car, 5: bus, 9: car}},
+		},
+		{
+			name:     "overlapping frames different labels conflict",
+			dst:      map[string]map[int]labels.Set{"cam": {0: car, 5: bus, 7: car}},
+			src:      map[string]map[int]labels.Set{"cam": {5: car, 7: bus}},
+			want:     map[string]map[int]labels.Set{"cam": {0: car, 5: bus, 7: car}},
+			conflict: &MergeConflictError{Camera: "cam", Frame: 5, Have: bus, Incoming: car},
+		},
+		{
+			name: "empty shard into populated",
+			dst:  map[string]map[int]labels.Set{"cam": {0: car}},
+			src:  nil,
+			want: map[string]map[int]labels.Set{"cam": {0: car}},
+		},
+		{
+			name: "populated shard into empty",
+			dst:  nil,
+			src:  map[string]map[int]labels.Set{"cam": {0: car}},
+			want: map[string]map[int]labels.Set{"cam": {0: car}},
+		},
+		{
+			name: "empty into empty",
+			dst:  nil,
+			src:  nil,
+			want: nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, src := mk(tc.dst), mk(tc.src)
+			err := dst.Merge(src)
+			if tc.conflict != nil {
+				var mc *MergeConflictError
+				if !errors.As(err, &mc) {
+					t.Fatalf("Merge error = %v, want MergeConflictError", err)
+				}
+				if mc.Camera != tc.conflict.Camera || mc.Frame != tc.conflict.Frame ||
+					!mc.Have.Equal(tc.conflict.Have) || !mc.Incoming.Equal(tc.conflict.Incoming) {
+					t.Fatalf("conflict = %+v, want %+v", mc, tc.conflict)
+				}
+			} else if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			// A conflicting merge must leave the receiver untouched (atomic).
+			want := mk(tc.want)
+			got, _ := dst.MarshalIndent()
+			exp, _ := want.MarshalIndent()
+			if string(got) != string(exp) {
+				t.Fatalf("merged state:\n%s\nwant:\n%s", got, exp)
+			}
+		})
+	}
+}
+
+func TestResultsDBMergeSelfAndNil(t *testing.T) {
+	db := NewResultsDB()
+	db.Put("cam", 3, labels.NewSet("car"))
+	if err := db.Merge(db); err != nil {
+		t.Fatalf("self merge: %v", err)
+	}
+	if err := db.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestResultsDBSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.json")
+
+	old := NewResultsDB()
+	old.Put("cam", 1, labels.NewSet("bus"))
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewResultsDB()
+	db.Put("cam", 2, labels.NewSet("car"))
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rename replaced the old file completely, and no temp file litter
+	// survives a successful save.
+	got, err := LoadResultsDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Get("cam", 1); ok {
+		t.Fatal("old contents survived the atomic replace")
+	}
+	if ls, ok := got.Get("cam", 2); !ok || !ls.Equal(labels.NewSet("car")) {
+		t.Fatalf("reloaded labels = %v, %v", ls, ok)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != path {
+		t.Fatalf("directory not clean after save: %v", entries)
+	}
+
+	// A save into a missing directory fails without touching path.
+	if err := db.Save(filepath.Join(dir, "missing", "results.json")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}
+
+func TestResultsDBCamerasAndLen(t *testing.T) {
+	db := NewResultsDB()
+	if got := db.Cameras(); len(got) != 0 {
+		t.Fatalf("Cameras on empty db = %v", got)
+	}
+	db.Put("b", 0, labels.NewSet("car"))
+	db.Put("a", 0, labels.NewSet("car"))
+	db.Put("a", 1, labels.NewSet("bus"))
+	if got := db.Cameras(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Cameras = %v, want [a b]", got)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", db.Len())
+	}
+}

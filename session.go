@@ -50,6 +50,10 @@ func (k EventKind) String() string {
 // events totally; across feeds of a Hub the interleaving follows scheduling,
 // so durable logs should be keyed by (Feed, Seq).
 type Event struct {
+	// Site is the edge site that ran the emitting session. It is empty for
+	// plain Sessions and Hubs; a Cluster tags every forwarded event with
+	// the feed's assigned site.
+	Site string
 	// Feed is the emitting session's name.
 	Feed string
 	// Seq is the per-feed sequence number, starting at 0.
@@ -75,6 +79,9 @@ type Event struct {
 // a fixed seed the rendered event log is byte-identical run to run.
 func (e Event) String() string {
 	var b strings.Builder
+	if e.Site != "" {
+		fmt.Fprintf(&b, "%s/", e.Site)
+	}
 	fmt.Fprintf(&b, "%s #%d %s t=%s", e.Feed, e.Seq, e.Kind, e.Time.UTC().Format("15:04:05.000"))
 	switch e.Kind {
 	case EventFrameEncoded, EventIFrame:
