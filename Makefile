@@ -7,9 +7,9 @@ GO ?= go
 # package's benchmarks regenerate full paper figures and take minutes —
 # they are run on demand via `make bench-full`).
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
-             ./internal/nn/ ./internal/dataflow/ ./internal/runner/
+             ./internal/nn/ ./internal/infer/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-full fmt vet lint ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-full fmt vet lint ci
 
 all: build
 
@@ -71,6 +71,20 @@ bench-cluster:
 
 bench-cluster-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkClusterSites' -benchtime=1x -benchmem .
+
+# Shared-inference micro-benchmarks: ns/frame of the batched detect path at
+# batch 1/4/16 vs the legacy per-frame forward, plus the plane's batch-of-1
+# scheduling round trip. allocs/op must read 0 for the batchN variants and
+# the round trip — as with bench-codec, allocations (not ns/op) are the
+# regression gate on this 1-core box. CI runs the 1-iteration smoke variant
+# so the batched path cannot silently stop compiling as a benchmark.
+bench-infer:
+	$(GO) test -run='^$$' -bench='^BenchmarkInferBatch' -benchmem ./internal/nn/
+	$(GO) test -run='^$$' -bench='^BenchmarkPlaneRoundTrip' -benchmem ./internal/infer/
+
+bench-infer-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkInferBatch' -benchtime=1x -benchmem ./internal/nn/
+	$(GO) test -run='^$$' -bench='^BenchmarkPlaneRoundTrip' -benchtime=1x -benchmem ./internal/infer/
 
 # The full benchmark suite doubles as the experiment record (see
 # bench_test.go); this regenerates every paper figure and table.

@@ -62,6 +62,8 @@ type clusterConfig struct {
 	uplinkBps   float64
 	latency     time.Duration
 	quota       int64
+	inferDet    *Detector
+	inferBatch  int
 }
 
 // WithSharder selects the feed-placement policy (default ShardByHash).
@@ -87,6 +89,19 @@ func WithUplink(bandwidthBps float64, latency time.Duration) ClusterOption {
 // from that site.
 func WithEdgeQuota(bytes int64) ClusterOption {
 	return func(c *clusterConfig) { c.quota = bytes }
+}
+
+// WithClusterInference gives every edge site its own shared
+// batched-inference plane over det: all feeds placed on a site micro-batch
+// their I-frames through that site's plane (one YOLite forward pass per
+// batch of up to batchSize frames), instead of each feed configuring
+// WithDetector and paying an un-amortised forward per frame. One plane per
+// site — not one per cluster — because the plane serialises its forward
+// passes and sites are the unit of horizontal scale-out. Results are
+// byte-identical to the per-feed path; see ClusterStats.Inference for the
+// amortisation counters.
+func WithClusterInference(det *Detector, batchSize int) ClusterOption {
+	return func(c *clusterConfig) { c.inferDet, c.inferBatch = det, batchSize }
 }
 
 // WithClusterBuffer sets the merged event channel capacity (default 256).
@@ -173,9 +188,13 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 		events:  make(chan Event, cfg.bufSize),
 	}
 	for _, name := range names {
+		hubOpts := []HubOption{WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize)}
+		if cfg.inferDet != nil {
+			hubOpts = append(hubOpts, WithHubInference(cfg.inferDet, cfg.inferBatch))
+		}
 		c.sites = append(c.sites, &clusterSite{
 			name:  name,
-			hub:   NewHub(WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize)),
+			hub:   NewHub(hubOpts...),
 			shard: NewResultsDB(),
 			edge:  store.NewEdgeStore(cfg.quota),
 		})
@@ -468,6 +487,11 @@ type ClusterStats struct {
 	PayloadBytes int64
 	// UplinkBytes is the total shipped over every site's uplink.
 	UplinkBytes int64
+	// Inference aggregates the per-site planes' batching counters (zero
+	// unless the cluster was built with WithClusterInference): total
+	// batches and frames summed over sites, MaxBatch the fleet-wide
+	// largest batch.
+	Inference InferenceStats
 	// MergedEntries counts (camera, frame) rows in the merged view (0
 	// before Run completes).
 	MergedEntries int
@@ -508,6 +532,11 @@ func (c *Cluster) Snapshot() ClusterStats {
 		st.Detections += ss.Hub.Detections
 		st.PayloadBytes += ss.Hub.PayloadBytes
 		st.UplinkBytes += ss.UplinkBytes
+		st.Inference.Batches += ss.Hub.Inference.Batches
+		st.Inference.Frames += ss.Hub.Inference.Frames
+		if ss.Hub.Inference.MaxBatch > st.Inference.MaxBatch {
+			st.Inference.MaxBatch = ss.Hub.Inference.MaxBatch
+		}
 	}
 	return st
 }

@@ -28,9 +28,18 @@ Feeds cycle through the Table I presets with per-feed seeds and run on
 virtual clocks, so a given flag set reproduces byte-identical merged
 results on every run.
 
+With -batch N, every site runs one shared batched-inference plane: its
+feeds micro-batch decoded I-frames through a single detector forward pass
+(flushed at N frames, or sooner when every running feed is blocked), and
+the report adds the amortisation line. Results are byte-identical to the
+per-feed detector path.
+
 examples:
   sieve cluster -feeds 6 -sites 3                 # hash sharding, 30 Mbps uplinks
   sieve cluster -feeds 8 -sites 4 -sharder leastbusy
+  sieve cluster -feeds 6 -sites 3 -batch 4 -workers 2   # shared per-site batched
+                  # inference (feeds batch only while running concurrently, so give
+                  # each site >1 worker to see amortisation on a small box)
   sieve cluster -feeds 6 -sites 2 -detect=false   # skip detector training
 
 flags:
@@ -54,6 +63,7 @@ func cmdCluster(args []string) {
 	uplinkMbps := fs.Float64("uplink-mbps", 30, "per-site edge→cloud bandwidth in Mbps")
 	latency := fs.Duration("latency", 20*time.Millisecond, "per-site uplink latency")
 	detect := fs.Bool("detect", true, "train a small detector and run it on I-frames")
+	batch := fs.Int("batch", 0, "micro-batch I-frames through one shared forward pass per site, flushing at this size (0 = per-feed detectors)")
 	out := fs.String("out", "", "write the merged results database JSON here (optional)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	_ = fs.Parse(args)
@@ -78,15 +88,24 @@ func cmdCluster(args []string) {
 	var det *sieve.Detector
 	if *detect {
 		start := time.Now()
-		det = trainClusterDetector()
+		det = trainFleetDetector()
 		fmt.Printf("trained detector in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if *batch > 0 && det == nil {
+		log.Fatal("-batch needs -detect (there is no inference to batch)")
+	}
 
-	c, err := sieve.NewCluster(*sites,
+	copts := []sieve.ClusterOption{
 		sieve.WithSharder(sharder),
 		sieve.WithSiteWorkers(*workers),
 		sieve.WithUplink(*uplinkMbps*1e6, *latency),
-	)
+	}
+	if *batch > 0 {
+		// One shared plane per site: feeds micro-batch their I-frames
+		// through a single forward pass instead of per-feed detector calls.
+		copts = append(copts, sieve.WithClusterInference(det, *batch))
+	}
+	c, err := sieve.NewCluster(*sites, copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +131,9 @@ func cmdCluster(args []string) {
 		if *quality != 0 {
 			opts = append(opts, sieve.WithQuality(*quality))
 		}
-		if det != nil {
+		if det != nil && *batch == 0 {
+			// With -batch the site's shared plane handles inference; the
+			// per-feed detector is the un-amortised baseline.
 			opts = append(opts, sieve.WithDetector(det))
 		}
 		_, site, err := c.AddFeed(name, sieve.NewSynthSource(v), opts...)
@@ -152,6 +173,11 @@ func cmdCluster(args []string) {
 	}
 	fmt.Printf("cluster filter rate %.4f — %d of %d frames never left their edge site\n",
 		st.FilterRate(), st.Frames-st.IFrames, st.Frames)
+	if *batch > 0 {
+		inf := st.Inference
+		fmt.Printf("shared inference (batch %d, per site): %d I-frames in %d forward passes — %.2f frames/pass amortised, largest batch %d\n",
+			*batch, inf.Frames, inf.Batches, inf.MeanBatch(), inf.MaxBatch)
+	}
 
 	merged, err := c.Merged()
 	if err != nil {
@@ -189,10 +215,10 @@ func cmdCluster(args []string) {
 	}
 }
 
-// trainClusterDetector fits the reference detector's head on an
-// independent labelled clip (fixed seed, so the whole cluster run stays
-// deterministic).
-func trainClusterDetector() *sieve.Detector {
+// trainFleetDetector fits the reference detector's head on an
+// independent labelled clip (fixed seed, so the whole run stays
+// deterministic). Shared by `sieve cluster` and `sieve stream -batch`.
+func trainFleetDetector() *sieve.Detector {
 	train, err := synth.Preset(synth.JacksonSquare, synth.PresetOpts{Seconds: 20, FPS: 5, Seed: 7})
 	if err != nil {
 		log.Fatal(err)

@@ -23,10 +23,20 @@ Feeds cycle through the three source kinds — synthetic render, SVF replay
 presets. The report compares each feed's streaming filter rate against the
 batch I-frame seeker on the same stream.
 
+With -batch N, the hub trains a small detector and shares one
+batched-inference plane across every feed: decoded I-frames from
+concurrent feeds coalesce into micro-batches through a single forward
+pass (flushed at N frames, or sooner when every running feed is blocked),
+and the report adds the amortisation line. Flushes are count-based, never
+timed, so with -realtime a quiet feed's cadence delays its siblings'
+detections — batching is for throughput-oriented replay; pace live feeds
+with -batch 1.
+
 examples:
   sieve stream -feeds 3                        # synth + replay + push, virtual time
   sieve stream -feeds 5 -seconds 10 -fps 10    # all five presets
   sieve stream -feeds 3 -gop 50 -scenecut 200  # tuned parameters
+  sieve stream -feeds 4 -batch 4               # shared batched inference
   sieve stream -feeds 3 -realtime              # pace replay on the wall clock
 
 flags:
@@ -45,6 +55,7 @@ func cmdStream(args []string) {
 	scenecut := fs.Float64("scenecut", 40, "scenecut threshold 0-400")
 	quality := fs.Int("quality", 0, "encoder quality 1-100 (0 = default 85)")
 	parallel := fs.Int("parallel", 0, "feeds running at once (default GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "train a detector and micro-batch I-frames through one shared forward pass, flushing at this size (0 = no detection)")
 	realtime := fs.Bool("realtime", false, "pace replay feeds on the wall clock instead of a virtual one")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	_ = fs.Parse(args)
@@ -59,7 +70,14 @@ func cmdStream(args []string) {
 		defer cancel()
 	}
 
-	hub := sieve.NewHub(sieve.WithWorkers(*parallel))
+	hubOpts := []sieve.HubOption{sieve.WithWorkers(*parallel)}
+	if *batch > 0 {
+		start := time.Now()
+		det := trainFleetDetector()
+		fmt.Printf("trained detector in %v\n", time.Since(start).Round(time.Millisecond))
+		hubOpts = append(hubOpts, sieve.WithHubInference(det, *batch))
+	}
+	hub := sieve.NewHub(hubOpts...)
 	presets := synth.AllPresets()
 	kinds := []string{"synth", "replay", "push"}
 	sessions := make(map[string]*sieve.Session)
@@ -165,6 +183,11 @@ func cmdStream(args []string) {
 		}
 	}
 	fmt.Printf("aggregate filter rate %.4f\n", st.FilterRate())
+	if *batch > 0 {
+		inf := st.Inference
+		fmt.Printf("shared inference (batch %d): %d I-frames in %d forward passes — %.2f frames/pass amortised, largest batch %d\n",
+			*batch, inf.Frames, inf.Batches, inf.MeanBatch(), inf.MaxBatch)
+	}
 	if runErr != nil {
 		log.Fatal(runErr)
 	}

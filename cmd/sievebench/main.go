@@ -54,6 +54,14 @@ func main() {
   fig4    end-to-end throughput of the five deployments
   fig5    per-hop data movement of the five deployments
   all     everything above
+
+micro-benchmark suites (run via make, not -exp):
+  bench-codec    BenchmarkEncodeP / BenchmarkDecodeInto / BenchmarkAnalyze /
+                 BenchmarkSADBounded — zero-alloc codec hot path
+  bench-cluster  BenchmarkClusterSites — feeds/sec at K=1,2,4 edge sites
+  bench-infer    BenchmarkInferBatch (ns/frame at batch 1/4/16 vs the
+                 per-frame forward) and BenchmarkPlaneRoundTrip (shared
+                 inference plane scheduling overhead)
 `)
 		return
 	}

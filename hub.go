@@ -41,6 +41,30 @@ func WithHubBuffer(n int) HubOption {
 	}
 }
 
+// WithHubInference gives the hub one shared batched-inference plane: every
+// feed added afterwards routes its I-frame detections through it, so up to
+// batchSize frames from concurrent feeds share a single YOLite forward
+// pass. Results are byte-identical to per-feed WithDetector (the batched
+// forward is element-identical per frame); only the amortisation changes —
+// see HubStats.Inference. A feed's own WithInferencePlane overrides the
+// hub plane; combining the hub plane with per-feed WithDetector is a
+// configuration error surfaced by Add.
+//
+// Flushes are count-based, never timed, so a feed that goes quiet while
+// still running (a wall-clock-paced replay between I-frames, a stalled
+// push producer) holds partial batches open and siblings' detections wait
+// on its cadence. Batching suits throughput-oriented replay and bounded
+// feeds; for latency-sensitive live sources keep batchSize 1.
+func WithHubInference(det *Detector, batchSize int) HubOption {
+	return func(h *Hub) { h.plane = NewInferencePlane(det, batchSize) }
+}
+
+// WithHubPlane shares an existing plane (e.g. one plane spanning several
+// hubs). See WithHubInference.
+func WithHubPlane(p *InferencePlane) HubOption {
+	return func(h *Hub) { h.plane = p }
+}
+
 // FeedStats is one feed's counters plus its terminal error, if any.
 type FeedStats struct {
 	SessionStats
@@ -58,6 +82,9 @@ type HubStats struct {
 	IFrames      int
 	Detections   int
 	PayloadBytes int64
+	// Inference holds the shared plane's batching counters (zero unless the
+	// hub was built with WithHubInference/WithHubPlane).
+	Inference InferenceStats
 }
 
 // FilterRate is the aggregate share of frames dropped across all feeds.
@@ -77,6 +104,7 @@ func (st HubStats) FilterRate() float64 {
 type Hub struct {
 	pool    *runner.Pool
 	bufSize int
+	plane   *InferencePlane // shared inference plane, nil = per-feed config
 
 	mu      sync.Mutex
 	feeds   []*hubFeed
@@ -115,6 +143,10 @@ func (h *Hub) Add(name string, src FrameSource, opts ...SessionOption) (*Session
 			return nil, fmt.Errorf("sieve: hub: duplicate feed %q", name)
 		}
 	}
+	if h.plane != nil {
+		// Prepended so a feed's own inference options still win.
+		opts = append([]SessionOption{WithInferencePlane(h.plane)}, opts...)
+	}
 	opts = append(opts[:len(opts):len(opts)], WithName(name))
 	sess, err := NewSession(src, opts...)
 	if err != nil {
@@ -148,6 +180,20 @@ func (h *Hub) Run(ctx context.Context) error {
 	if len(feeds) == 0 {
 		close(h.events)
 		return fmt.Errorf("sieve: hub: %w", ErrNoFeeds)
+	}
+
+	// Cold-start batching: promise the plane the registrations that are
+	// guaranteed imminent, so the first I-frames coalesce instead of
+	// flushing one by one while sibling feeds are still spinning up. The
+	// pool starts exactly the first Workers() feeds immediately, and a
+	// session registers on Run entry before it can block — so only
+	// plane-bound feeds inside that window may be counted. A feed beyond
+	// the window (or one that overrode the hub plane) must not be: its
+	// registration could wait on a worker held by a long or unbounded
+	// sibling, and an unconsumed reservation would hold batches open
+	// forever.
+	if h.plane != nil {
+		h.plane.p.Reserve(planeReservation(feeds, h.plane, h.pool.Workers()))
 	}
 
 	// Forward each session's events onto the merged channel.
@@ -210,6 +256,27 @@ func (h *Hub) Run(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// planeReservation counts the feeds bound to plane among the first window
+// entries — the feeds the pool starts immediately (runner.Map hands out
+// indexes in order), each of which registers on Run entry before it can
+// block. Reservations must never exceed that guaranteed-imminent set: a
+// plane feed beyond the window waits for a worker that a long or unbounded
+// sibling may hold indefinitely, and a reservation nobody consumes would
+// hold every partial batch open forever.
+func planeReservation(feeds []*hubFeed, plane *InferencePlane, window int) int {
+	using := 0
+	for _, f := range feeds {
+		if window <= 0 {
+			break
+		}
+		window--
+		if f.sess.cfg.plane == plane {
+			using++
+		}
+	}
+	return using
+}
+
 // Snapshot reports per-feed and aggregate counters; safe to call while Run
 // is in flight.
 func (h *Hub) Snapshot() HubStats {
@@ -217,6 +284,9 @@ func (h *Hub) Snapshot() HubStats {
 	feeds := append([]*hubFeed(nil), h.feeds...)
 	h.mu.Unlock()
 	st := HubStats{Feeds: make([]FeedStats, 0, len(feeds))}
+	if h.plane != nil {
+		st.Inference = h.plane.Stats()
+	}
 	for _, f := range feeds {
 		fs := FeedStats{SessionStats: f.sess.Stats()}
 		h.mu.Lock()

@@ -179,3 +179,50 @@ func TestDecodeIntoCorruptKeepsReference(t *testing.T) {
 		}
 	}
 }
+
+// TestIFrameDecoderMatchesDecodeIFrame pins the reused-buffer I-frame
+// decoder (the session detection path) against the allocating one-shot
+// DecodeIFrame, and its steady-state zero-alloc contract.
+func TestIFrameDecoderMatchesDecodeIFrame(t *testing.T) {
+	p := Params{Width: 64, Height: 48, Quality: 85, GOPSize: 2, Scenecut: 0}
+	frames := testVideo(64, 48, 6, 1, 27)
+	encoded := encodeAll(t, p, frames)
+
+	d, err := NewIFrameDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastI []byte
+	for _, ef := range encoded {
+		if ef.Type != FrameI {
+			// P payloads must be rejected without touching state.
+			if _, err := d.Decode(ef.Data); err != ErrNotIFrame {
+				t.Fatalf("P payload: err = %v, want ErrNotIFrame", err)
+			}
+			continue
+		}
+		lastI = ef.Data
+		want, err := DecodeIFrame(p, ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decode(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("frame %d: reused-buffer decode differs from DecodeIFrame", ef.Number)
+		}
+	}
+	if lastI == nil {
+		t.Fatal("no I-frames in test stream")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.Decode(lastI); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state IFrameDecoder.Decode: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -117,6 +117,45 @@ func DecodeIFrame(p Params, data []byte) (*frame.YUV, error) {
 	return out, nil
 }
 
+// IFrameDecoder decodes independent I-frame payloads like DecodeIFrame but
+// with reused buffers: the output frame, block decoder and bitstream reader
+// all persist across calls, so the steady-state decode of a session's own
+// I-frames allocates nothing. Not safe for concurrent use.
+type IFrameDecoder struct {
+	p   Params
+	r   bitstream.Reader
+	bd  *blockDecoder
+	out *frame.YUV
+}
+
+// NewIFrameDecoder validates p and returns a ready decoder.
+func NewIFrameDecoder(p Params) (*IFrameDecoder, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	return &IFrameDecoder{p: p, out: frame.NewYUV(p.Width, p.Height)}, nil
+}
+
+// Decode decodes one I-frame payload into the decoder's internal frame and
+// returns it. The frame is valid until the next Decode call; callers that
+// need to keep it must Clone. Returns ErrNotIFrame for P-frame payloads.
+func (d *IFrameDecoder) Decode(data []byte) (*frame.YUV, error) {
+	ft, quality, err := readFrameHeader(&d.r, data)
+	if err != nil {
+		return nil, err
+	}
+	if ft != FrameI {
+		return nil, ErrNotIFrame
+	}
+	if d.bd == nil || d.bd.qz.Quality() != quality {
+		d.bd = newBlockDecoder(quality)
+	}
+	if err := decodeIntraInto(&d.r, d.bd, d.out); err != nil {
+		return nil, err
+	}
+	return d.out, nil
+}
+
 // PayloadFrameType peeks at a payload's frame-type bit without decoding.
 func PayloadFrameType(data []byte) (FrameType, error) {
 	if len(data) == 0 {

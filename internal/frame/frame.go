@@ -281,7 +281,10 @@ func PSNRYUV(a, b *YUV) float64 { return PSNR(a.Y, b.Y) }
 
 // Resize scales src to w×h with bilinear interpolation. It is used to
 // shrink decoded I-frames to the NN input resolution (the paper resizes to
-// the 300×300 YOLO input before shipping frames to the cloud).
+// the 300×300 YOLO input before shipping frames to the cloud). The hoisted
+// per-row arithmetic must stay expression-identical to BilinearSample's
+// (pinned by TestBilinearSampleMatchesResize): zero-alloc consumers sample
+// the virtual resized plane through that function instead of this one.
 func Resize(src *Plane, w, h int) *Plane {
 	dst := NewPlane(w, h)
 	if src.W == 0 || src.H == 0 || w == 0 || h == 0 {
@@ -307,6 +310,30 @@ func Resize(src *Plane, w, h int) *Plane {
 		}
 	}
 	return dst
+}
+
+// BilinearSample returns the bilinear-interpolated, byte-rounded sample of
+// src scaled to a w×h target at target position (x, y) — exactly the value
+// Resize(src, w, h) writes there (same expressions, so the same IEEE
+// results; Resize merely hoists the row-invariant terms). Exposed so
+// allocation-free consumers (nn.FromYUVInto) can sample a virtual resized
+// plane without materialising it.
+func BilinearSample(src *Plane, w, h, x, y int) byte {
+	yRatio := float64(src.H) / float64(h)
+	sy := (float64(y)+0.5)*yRatio - 0.5
+	y0 := int(math.Floor(sy))
+	fy := sy - float64(y0)
+	xRatio := float64(src.W) / float64(w)
+	sx := (float64(x)+0.5)*xRatio - 0.5
+	x0 := int(math.Floor(sx))
+	fx := sx - float64(x0)
+	p00 := float64(src.At(x0, y0))
+	p10 := float64(src.At(x0+1, y0))
+	p01 := float64(src.At(x0, y0+1))
+	p11 := float64(src.At(x0+1, y0+1))
+	top := p00 + (p10-p00)*fx
+	bot := p01 + (p11-p01)*fx
+	return clamp255(top + (bot-top)*fy)
 }
 
 // ResizeYUV scales a full frame to w×h (rounded up to even).

@@ -272,3 +272,27 @@ func BenchmarkResize1080pTo300(b *testing.B) {
 		Resize(p, 300, 300)
 	}
 }
+
+// TestBilinearSampleMatchesResize pins the contract the nn input
+// conversion depends on: BilinearSample(src, w, h, x, y) equals the pixel
+// Resize(src, w, h) writes at (x, y), bit for bit, including non-integral
+// ratios and border-clamped taps.
+func TestBilinearSampleMatchesResize(t *testing.T) {
+	src := NewPlane(37, 23)
+	v := byte(3)
+	for i := range src.Pix {
+		v = v*167 + 41
+		src.Pix[i] = v
+	}
+	for _, dim := range [][2]int{{16, 16}, {48, 48}, {7, 31}, {37, 23}, {64, 9}} {
+		w, h := dim[0], dim[1]
+		dst := Resize(src, w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if got, want := BilinearSample(src, w, h, x, y), dst.At(x, y); got != want {
+					t.Fatalf("%dx%d at (%d,%d): BilinearSample %d != Resize %d", w, h, x, y, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import "fmt"
+
+// Batch is a dense batch of N equally-shaped CHW tensors stored
+// contiguously: item i occupies Data[i*C*H*W : (i+1)*C*H*W], itself in
+// channel-major layout. Batching exists to amortise per-invocation costs of
+// the forward pass (buffer reuse, weight locality, scheduler overhead)
+// across frames from many feeds; the per-item arithmetic is identical to
+// the single-tensor path, so batched results match Forward element for
+// element.
+type Batch struct {
+	Data       []float32
+	N, C, H, W int
+}
+
+// NewBatch allocates a zeroed batch of n c×h×w items.
+func NewBatch(n, c, h, w int) *Batch {
+	b := &Batch{}
+	b.Reshape(n, c, h, w)
+	return b
+}
+
+// Reshape resizes the batch to n items of c×h×w, reusing Data's capacity
+// when it suffices (the allocation-free steady state). Contents are
+// undefined after a reshape.
+func (b *Batch) Reshape(n, c, h, w int) {
+	b.N, b.C, b.H, b.W = n, c, h, w
+	need := n * c * h * w
+	if cap(b.Data) < need {
+		b.Data = make([]float32, need)
+		return
+	}
+	b.Data = b.Data[:need]
+}
+
+// ItemLen returns the element count of one item.
+func (b *Batch) ItemLen() int { return b.C * b.H * b.W }
+
+// Item returns item i's data, aliasing the batch storage.
+func (b *Batch) Item(i int) []float32 {
+	n := b.ItemLen()
+	return b.Data[i*n : (i+1)*n]
+}
+
+// ItemTensor returns a Tensor header over item i (shared storage).
+func (b *Batch) ItemTensor(i int) Tensor {
+	return Tensor{Data: b.Item(i), C: b.C, H: b.H, W: b.W}
+}
+
+// BatchScratch holds the two ping-pong activation buffers ForwardBatch
+// alternates between. One scratch serves any number of sequential
+// ForwardBatch calls with zero steady-state allocations; it is not safe for
+// concurrent use (the inference plane serialises batches, so one scratch
+// per plane suffices).
+type BatchScratch struct {
+	a, b Batch
+}
+
+// ForwardBatch runs the full network over every item of in, ping-ponging
+// activations through s and returning the final batch (which aliases one of
+// s's buffers — valid until the next ForwardBatch with the same scratch).
+// in must not alias s. Per item, the output is bit-identical to Forward on
+// that item: layers process items independently with the same kernels.
+func (n *Network) ForwardBatch(in *Batch, s *BatchScratch) *Batch {
+	if in.C != n.Input.C {
+		panic(fmt.Sprintf("nn: ForwardBatch input has %d channels, want %d", in.C, n.Input.C))
+	}
+	cur := in
+	shape := Shape{C: in.C, H: in.H, W: in.W}
+	next := &s.a
+	for _, l := range n.Layers {
+		os := l.OutShape(shape)
+		next.Reshape(cur.N, os.C, os.H, os.W)
+		l.ForwardBatch(cur, next)
+		if next == &s.a {
+			cur, next = &s.a, &s.b
+		} else {
+			cur, next = &s.b, &s.a
+		}
+		shape = os
+	}
+	return cur
+}

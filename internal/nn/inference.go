@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"sieve/internal/frame"
+	"sieve/internal/labels"
+)
+
+// Inference is a reusable inference context over a shared YOLite: it owns
+// the input batch, the activation ping-pong buffers and the per-frame
+// detection/label scratch, so repeated DetectBatch calls allocate nothing
+// once capacities reach steady state. The underlying detector is read-only
+// during inference, so any number of Inference contexts may share one
+// YOLite; a single context is NOT safe for concurrent use (the inference
+// plane serialises all batches through one).
+type Inference struct {
+	d       *YOLite
+	in      Batch
+	scratch BatchScratch
+	dets    [][]Detection
+	count   map[string]int
+	best    map[string]float32
+	names   []string
+}
+
+// NewInference builds an inference context for d.
+func NewInference(d *YOLite) *Inference {
+	return &Inference{
+		d:     d,
+		count: make(map[string]int),
+		best:  make(map[string]float32),
+	}
+}
+
+// Detector returns the shared detector this context runs.
+func (ic *Inference) Detector() *YOLite { return ic.d }
+
+// DetectBatch converts every frame into one input batch, runs a single
+// batched forward pass, and scans each item's probability grid. dst's
+// per-item slices are reused (pass the previous return value back in);
+// result i is element-identical to d.Detect(frames[i]). Frames are only
+// read during the call — the caller may reuse their buffers afterwards.
+func (ic *Inference) DetectBatch(frames []*frame.YUV, dst [][]Detection) [][]Detection {
+	for len(dst) < len(frames) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(frames)]
+	if len(frames) == 0 {
+		return dst
+	}
+	size := ic.d.InputSize
+	ic.in.Reshape(len(frames), 3, size, size)
+	for i, f := range frames {
+		fromYUVInto(ic.in.Item(i), f, size)
+	}
+	probs := ic.d.net.ForwardBatch(&ic.in, &ic.scratch)
+	for i := range frames {
+		dst[i] = appendDetections(probs.Item(i), probs.C, probs.H, probs.W,
+			ic.d.classes, ic.d.CellThresh, dst[i][:0])
+	}
+	return dst
+}
+
+// FrameLabelsBatch is DetectBatch reduced to per-frame label sets, each
+// identical to d.FrameLabels on that frame. The returned Sets are freshly
+// built (they outlive the context's scratch); dst is the reused container.
+func (ic *Inference) FrameLabelsBatch(frames []*frame.YUV, dst []labels.Set) []labels.Set {
+	ic.dets = ic.DetectBatch(frames, ic.dets)
+	for len(dst) < len(frames) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(frames)]
+	for i := range frames {
+		dst[i], ic.names = frameLabelSet(ic.dets[i], ic.count, ic.best, ic.names)
+	}
+	return dst
+}

@@ -16,6 +16,11 @@ type Layer interface {
 	FLOPs(in Shape) int64
 	// Forward computes the layer output.
 	Forward(in *Tensor) *Tensor
+	// ForwardBatch computes the layer output for every item of in into out,
+	// which the caller has already shaped to OutShape at in.N items.
+	// Implementations write every element of out, may not retain either
+	// batch, and must produce, per item, exactly the values Forward would.
+	ForwardBatch(in, out *Batch)
 }
 
 // Conv2D is a strided 2-D convolution with same-ish padding.
@@ -62,6 +67,41 @@ func (c *Conv2D) FLOPs(in Shape) int64 {
 	return int64(out.C) * int64(out.H) * int64(out.W) * int64(c.InC) * int64(c.K*c.K) * 2
 }
 
+// forwardItem is the single-item convolution kernel shared by Forward and
+// ForwardBatch: accumulation order (ic, ky, kx) is fixed so both paths
+// produce bit-identical floats.
+func (c *Conv2D) forwardItem(in []float32, inH, inW int, out []float32, outH, outW int) {
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.B[oc]
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*c.Stride - c.Pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*c.Stride - c.Pad
+				acc := bias
+				for ic := 0; ic < c.InC; ic++ {
+					w := c.W[oc][ic]
+					for ky := 0; ky < c.K; ky++ {
+						y := iy0 + ky
+						if y < 0 || y >= inH {
+							continue
+						}
+						rowBase := (ic*inH + y) * inW
+						kBase := ky * c.K
+						for kx := 0; kx < c.K; kx++ {
+							x := ix0 + kx
+							if x < 0 || x >= inW {
+								continue
+							}
+							acc += w[kBase+kx] * in[rowBase+x]
+						}
+					}
+				}
+				out[(oc*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	if in.C != c.InC {
@@ -69,36 +109,18 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	}
 	shape := c.OutShape(Shape{C: in.C, H: in.H, W: in.W})
 	out := NewTensor(shape.C, shape.H, shape.W)
-	for oc := 0; oc < c.OutC; oc++ {
-		bias := c.B[oc]
-		for oy := 0; oy < shape.H; oy++ {
-			iy0 := oy*c.Stride - c.Pad
-			for ox := 0; ox < shape.W; ox++ {
-				ix0 := ox*c.Stride - c.Pad
-				acc := bias
-				for ic := 0; ic < c.InC; ic++ {
-					w := c.W[oc][ic]
-					for ky := 0; ky < c.K; ky++ {
-						y := iy0 + ky
-						if y < 0 || y >= in.H {
-							continue
-						}
-						rowBase := (ic*in.H + y) * in.W
-						kBase := ky * c.K
-						for kx := 0; kx < c.K; kx++ {
-							x := ix0 + kx
-							if x < 0 || x >= in.W {
-								continue
-							}
-							acc += w[kBase+kx] * in.Data[rowBase+x]
-						}
-					}
-				}
-				out.Set(oc, oy, ox, acc)
-			}
-		}
-	}
+	c.forwardItem(in.Data, in.H, in.W, out.Data, shape.H, shape.W)
 	return out
+}
+
+// ForwardBatch implements Layer.
+func (c *Conv2D) ForwardBatch(in, out *Batch) {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv %s expects %d channels, got %d", c.Tag, c.InC, in.C))
+	}
+	for i := 0; i < in.N; i++ {
+		c.forwardItem(in.Item(i), in.H, in.W, out.Item(i), out.H, out.W)
+	}
 }
 
 // ReLU clamps activations at zero.
@@ -117,15 +139,28 @@ func (r *ReLU) OutShape(in Shape) Shape { return in }
 // FLOPs implements Layer.
 func (r *ReLU) FLOPs(in Shape) int64 { return int64(in.Elems()) }
 
+// reluInto writes max(v, 0) for every element (out may hold stale data, so
+// zeros are written explicitly, unlike the allocating Forward).
+func reluInto(in, out []float32) {
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
 // Forward implements Layer.
 func (r *ReLU) Forward(in *Tensor) *Tensor {
 	out := NewTensor(in.C, in.H, in.W)
-	for i, v := range in.Data {
-		if v > 0 {
-			out.Data[i] = v
-		}
-	}
+	reluInto(in.Data, out.Data)
 	return out
+}
+
+// ForwardBatch implements Layer.
+func (r *ReLU) ForwardBatch(in, out *Batch) {
+	reluInto(in.Data, out.Data)
 }
 
 // MaxPool2 halves spatial resolution with 2×2 max pooling.
@@ -146,28 +181,42 @@ func (m *MaxPool2) OutShape(in Shape) Shape {
 // FLOPs implements Layer.
 func (m *MaxPool2) FLOPs(in Shape) int64 { return int64(in.Elems()) }
 
+// poolItem is the single-item 2×2 max-pool kernel.
+func poolItem(in []float32, c, inH, inW int, out []float32, oh, ow int) {
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			row0 := (ch*inH + 2*y) * inW
+			row1 := (ch*inH + 2*y + 1) * inW
+			for x := 0; x < ow; x++ {
+				v := in[row0+2*x]
+				if u := in[row0+2*x+1]; u > v {
+					v = u
+				}
+				if u := in[row1+2*x]; u > v {
+					v = u
+				}
+				if u := in[row1+2*x+1]; u > v {
+					v = u
+				}
+				out[(ch*oh+y)*ow+x] = v
+			}
+		}
+	}
+}
+
 // Forward implements Layer.
 func (m *MaxPool2) Forward(in *Tensor) *Tensor {
 	oh, ow := in.H/2, in.W/2
 	out := NewTensor(in.C, oh, ow)
-	for c := 0; c < in.C; c++ {
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				v := in.At(c, 2*y, 2*x)
-				if u := in.At(c, 2*y, 2*x+1); u > v {
-					v = u
-				}
-				if u := in.At(c, 2*y+1, 2*x); u > v {
-					v = u
-				}
-				if u := in.At(c, 2*y+1, 2*x+1); u > v {
-					v = u
-				}
-				out.Set(c, y, x, v)
-			}
-		}
-	}
+	poolItem(in.Data, in.C, in.H, in.W, out.Data, oh, ow)
 	return out
+}
+
+// ForwardBatch implements Layer.
+func (m *MaxPool2) ForwardBatch(in, out *Batch) {
+	for i := 0; i < in.N; i++ {
+		poolItem(in.Item(i), in.C, in.H, in.W, out.Item(i), out.H, out.W)
+	}
 }
 
 // Softmax applies a per-spatial-position softmax across channels (the
@@ -187,27 +236,40 @@ func (s *Softmax) OutShape(in Shape) Shape { return in }
 // FLOPs implements Layer.
 func (s *Softmax) FLOPs(in Shape) int64 { return int64(in.Elems()) * 4 }
 
-// Forward implements Layer.
-func (s *Softmax) Forward(in *Tensor) *Tensor {
-	out := NewTensor(in.C, in.H, in.W)
-	for y := 0; y < in.H; y++ {
-		for x := 0; x < in.W; x++ {
-			maxV := in.At(0, y, x)
-			for c := 1; c < in.C; c++ {
-				if v := in.At(c, y, x); v > maxV {
+// softmaxItem is the single-item per-cell softmax kernel (summation order
+// over channels fixed, matching the historical Forward).
+func softmaxItem(in []float32, c, h, w int, out []float32) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			maxV := in[y*w+x]
+			for ch := 1; ch < c; ch++ {
+				if v := in[(ch*h+y)*w+x]; v > maxV {
 					maxV = v
 				}
 			}
 			var sum float64
-			for c := 0; c < in.C; c++ {
-				sum += expApprox(float64(in.At(c, y, x) - maxV))
+			for ch := 0; ch < c; ch++ {
+				sum += expApprox(float64(in[(ch*h+y)*w+x] - maxV))
 			}
-			for c := 0; c < in.C; c++ {
-				out.Set(c, y, x, float32(expApprox(float64(in.At(c, y, x)-maxV))/sum))
+			for ch := 0; ch < c; ch++ {
+				out[(ch*h+y)*w+x] = float32(expApprox(float64(in[(ch*h+y)*w+x]-maxV)) / sum)
 			}
 		}
 	}
+}
+
+// Forward implements Layer.
+func (s *Softmax) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H, in.W)
+	softmaxItem(in.Data, in.C, in.H, in.W, out.Data)
 	return out
+}
+
+// ForwardBatch implements Layer.
+func (s *Softmax) ForwardBatch(in, out *Batch) {
+	for i := 0; i < in.N; i++ {
+		softmaxItem(in.Item(i), in.C, in.H, in.W, out.Item(i))
+	}
 }
 
 // expApprox is math.Exp; kept as a hook for faster approximations.

@@ -37,6 +37,18 @@ func (t *Tensor) Set(c, y, x int, v float32) {
 // Len returns the number of elements.
 func (t *Tensor) Len() int { return t.C * t.H * t.W }
 
+// Reshape resizes t to c×h×w, reusing Data's capacity when it suffices.
+// Contents are undefined after a reshape.
+func (t *Tensor) Reshape(c, h, w int) {
+	t.C, t.H, t.W = c, h, w
+	need := c * h * w
+	if cap(t.Data) < need {
+		t.Data = make([]float32, need)
+		return
+	}
+	t.Data = t.Data[:need]
+}
+
 // Bytes returns the tensor's wire size (float32 payload).
 func (t *Tensor) Bytes() int64 { return int64(t.Len()) * 4 }
 
@@ -56,20 +68,53 @@ func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
 // channels, chroma upsampled by the resize, values scaled to [0,1]).
 // This mirrors the paper's resize of frames to the square NN input.
 func FromYUV(f *frame.YUV, size int) *Tensor {
-	r := frame.ResizeYUV(f, size, size)
 	t := NewTensor(3, size, size)
+	return FromYUVInto(t, f, size)
+}
+
+// FromYUVInto converts a frame into dst, reshaped to 3×size×size reusing
+// its capacity — the allocation-free steady-state input conversion. Instead
+// of materialising a resized intermediate frame (what FromYUV historically
+// did), each tensor value is sampled straight off the source planes with
+// frame.BilinearSample, whose arithmetic matches Resize bit for bit, so the
+// tensor is element-identical to the allocating path. Returns dst.
+func FromYUVInto(dst *Tensor, f *frame.YUV, size int) *Tensor {
+	dst.Reshape(3, size, size)
+	fromYUVInto(dst.Data, f, size)
+	return dst
+}
+
+// fromYUVInto fills data (laid out as one 3×size×size item) from f. Split
+// out so batched inference can convert directly into batch item storage.
+func fromYUVInto(data []float32, f *frame.YUV, size int) {
+	// ResizeYUV rounds the resize target up to even; sample with the same
+	// target geometry so every ratio — and therefore every value — matches
+	// the historical resize-then-index path exactly.
+	rw := (size + 1) &^ 1
+	plane := size * size
 	// Luma at full input resolution.
 	for y := 0; y < size; y++ {
+		row := data[y*size : (y+1)*size]
 		for x := 0; x < size; x++ {
-			t.Set(0, y, x, float32(r.Y.At(x, y))/255)
+			row[x] = float32(frame.BilinearSample(f.Y, rw, rw, x, y)) / 255
 		}
 	}
-	// Chroma planes are half resolution; nearest-neighbour upsample.
-	for y := 0; y < size; y++ {
-		for x := 0; x < size; x++ {
-			t.Set(1, y, x, float32(r.Cb.At(x/2, y/2))/255)
-			t.Set(2, y, x, float32(r.Cr.At(x/2, y/2))/255)
+	// Chroma planes are half resolution; nearest-neighbour upsample writes
+	// each sample into its 2×2 cell (clipped at odd sizes).
+	half := rw / 2
+	cb := data[plane : 2*plane]
+	cr := data[2*plane : 3*plane]
+	for cy := 0; 2*cy < size; cy++ {
+		for cx := 0; 2*cx < size; cx++ {
+			vb := float32(frame.BilinearSample(f.Cb, half, half, cx, cy)) / 255
+			vr := float32(frame.BilinearSample(f.Cr, half, half, cx, cy)) / 255
+			for dy := 0; dy < 2 && 2*cy+dy < size; dy++ {
+				base := (2*cy + dy) * size
+				for dx := 0; dx < 2 && 2*cx+dx < size; dx++ {
+					cb[base+2*cx+dx] = vb
+					cr[base+2*cx+dx] = vr
+				}
+			}
 		}
 	}
-	return t
 }

@@ -79,8 +79,12 @@ func (d *YOLite) Train(frames []LabeledFrame, cfg TrainConfig) (TrainReport, err
 	h1, _ := d.headConvs()
 	var samples []cellSample
 	positives := 0
+	// One reused input tensor across the whole pass: the backbone forward
+	// allocates its own activations, so the conversion is the only per-frame
+	// input cost worth eliding (same FromYUVInto discipline as inference).
+	var in Tensor
 	for _, lf := range frames {
-		feats := d.net.ForwardRange(FromYUV(lf.Frame, d.InputSize), 0, d.headIndex)
+		feats := d.net.ForwardRange(FromYUVInto(&in, lf.Frame, d.InputSize), 0, d.headIndex)
 		grid := feats.H
 		cells := d.labelCells(lf, grid)
 		for cy := 0; cy < grid; cy++ {

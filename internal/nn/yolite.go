@@ -85,23 +85,40 @@ func (d *YOLite) GridSize() int {
 // Detect runs the network and returns all cells above threshold.
 func (d *YOLite) Detect(f *frame.YUV) []Detection {
 	probs := d.net.Forward(FromYUV(f, d.InputSize))
-	var out []Detection
-	for y := 0; y < probs.H; y++ {
-		for x := 0; x < probs.W; x++ {
-			bestC, bestP := 0, probs.At(0, y, x)
-			for c := 1; c < probs.C; c++ {
-				if p := probs.At(c, y, x); p > bestP {
-					bestC, bestP = c, p
+	return appendDetections(probs.Data, probs.C, probs.H, probs.W, d.classes, d.CellThresh, nil)
+}
+
+// DetectBatch runs one batched forward pass over frames and returns
+// per-frame detections, each element-identical to Detect on that frame. It
+// is a convenience that builds a throwaway Inference context; hot paths
+// (the inference plane) hold a persistent Inference so repeated batches are
+// allocation-free.
+func (d *YOLite) DetectBatch(frames []*frame.YUV) [][]Detection {
+	return NewInference(d).DetectBatch(frames, nil)
+}
+
+// appendDetections scans one frame's class-probability grid (CHW data,
+// channel 0 = background) and appends every above-threshold cell to dst.
+// The strict > comparison keeps the first maximum, so ties between equally
+// probable classes deterministically pick the lowest class index — pinned
+// by tests, since batched and per-frame paths must agree exactly.
+func appendDetections(probs []float32, c, h, w int, classes []string, thresh float32, dst []Detection) []Detection {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			bestC, bestP := 0, probs[y*w+x]
+			for ch := 1; ch < c; ch++ {
+				if p := probs[(ch*h+y)*w+x]; p > bestP {
+					bestC, bestP = ch, p
 				}
 			}
-			if bestC != 0 && bestP >= d.CellThresh {
-				out = append(out, Detection{
-					Class: d.classes[bestC], Prob: bestP, CellX: x, CellY: y,
+			if bestC != 0 && bestP >= thresh {
+				dst = append(dst, Detection{
+					Class: classes[bestC], Prob: bestP, CellX: x, CellY: y,
 				})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // FrameLabels reduces detections to the frame's label set — the output the
@@ -110,22 +127,38 @@ func (d *YOLite) Detect(f *frame.YUV) []Detection {
 // very high confidence (suppressing lone misfires without losing genuinely
 // one-cell-sized objects).
 func (d *YOLite) FrameLabels(f *frame.YUV) labels.Set {
-	dets := d.Detect(f)
-	count := make(map[string]int)
-	best := make(map[string]float32)
+	set, _ := frameLabelSet(d.Detect(f), make(map[string]int), make(map[string]float32), nil)
+	return set
+}
+
+// FrameLabelsBatch reduces one batched forward pass over frames to
+// per-frame label sets, each identical to FrameLabels on that frame.
+// Like DetectBatch, it is a convenience over a throwaway Inference.
+func (d *YOLite) FrameLabelsBatch(frames []*frame.YUV) []labels.Set {
+	return NewInference(d).FrameLabelsBatch(frames, nil)
+}
+
+// frameLabelSet applies the ≥2-cells-or-one-very-confident-cell rule to one
+// frame's detections. count, best and names are caller-owned scratch
+// (cleared here); the grown names slice is returned alongside the Set so
+// batch paths can keep its capacity. The returned Set itself is always
+// freshly built (it escapes into events and result databases).
+func frameLabelSet(dets []Detection, count map[string]int, best map[string]float32, names []string) (labels.Set, []string) {
+	clear(count)
+	clear(best)
 	for _, det := range dets {
 		count[det.Class]++
 		if det.Prob > best[det.Class] {
 			best[det.Class] = det.Prob
 		}
 	}
-	names := make([]string, 0, len(count))
+	names = names[:0]
 	for class, n := range count {
 		if n >= 2 || best[class] >= 0.9 {
 			names = append(names, class)
 		}
 	}
-	return labels.NewSet(names...)
+	return labels.NewSet(names...), names
 }
 
 // buildYOLiteNet constructs backbone + head + softmax. Returns the network

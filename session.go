@@ -11,6 +11,7 @@ import (
 
 	"sieve/internal/codec"
 	"sieve/internal/container"
+	"sieve/internal/infer"
 )
 
 // EventKind discriminates the typed events a Session emits.
@@ -128,6 +129,7 @@ type sessionConfig struct {
 	params     *EncoderParams
 	quality    int
 	det        *Detector
+	plane      *InferencePlane
 	clock      Clock
 	sink       io.WriteSeeker
 	statsEvery int
@@ -151,9 +153,21 @@ func WithQuality(q int) SessionOption {
 }
 
 // WithDetector runs d on every I-frame (decoded from its own payload, like
-// the edge does) and emits EventDetection events.
+// the edge does) and emits EventDetection events. Internally this is the
+// trivial batch-of-1 configuration of the inference plane: the session
+// builds a private InferencePlane around d, so the per-frame and batched
+// paths share one code path (and therefore one set of results). To amortise
+// the forward pass across feeds, share a plane instead: WithInferencePlane
+// here, WithHubInference on a Hub, WithClusterInference on a Cluster.
 func WithDetector(d *Detector) SessionOption {
 	return func(c *sessionConfig) { c.det = d }
+}
+
+// WithInferencePlane routes the session's I-frame detections through a
+// shared batched-inference plane (see InferencePlane). Mutually exclusive
+// with WithDetector — configure inference one way per session.
+func WithInferencePlane(p *InferencePlane) SessionOption {
+	return func(c *sessionConfig) { c.plane = p }
 }
 
 // WithClock injects the session clock used for event timestamps (default
@@ -188,7 +202,8 @@ type Session struct {
 	src    FrameSource
 	cfg    sessionConfig
 	enc    *SemanticEncoder
-	buf    *container.Buffer // non-nil when no external sink was given
+	buf    *container.Buffer    // non-nil when no external sink was given
+	ifd    *codec.IFrameDecoder // reused I-frame decode buffer (detection path)
 	events chan Event
 
 	mu       sync.Mutex
@@ -243,6 +258,21 @@ func NewSession(src FrameSource, opts ...SessionOption) (*Session, error) {
 		return nil, fmt.Errorf("sieve: session %s: %w", cfg.name, err)
 	}
 	s.enc = enc
+	// Inference wiring: WithDetector is sugar for a private batch-of-1
+	// plane, so per-frame and batched detection share one code path.
+	if s.cfg.det != nil && s.cfg.plane != nil {
+		return nil, fmt.Errorf("sieve: session %s: WithDetector and WithInferencePlane are mutually exclusive", cfg.name)
+	}
+	if s.cfg.det != nil {
+		s.cfg.plane = NewInferencePlane(s.cfg.det, 1)
+	}
+	if s.cfg.plane != nil {
+		ifd, err := codec.NewIFrameDecoder(enc.Params())
+		if err != nil {
+			return nil, fmt.Errorf("sieve: session %s: %w", cfg.name, err)
+		}
+		s.ifd = ifd
+	}
 	return s, nil
 }
 
@@ -292,6 +322,17 @@ func (s *Session) Run(ctx context.Context) error {
 	s.mu.Unlock()
 	defer close(s.events)
 
+	// Register with the inference plane only while actually running: the
+	// plane flushes a partial batch once every *registered* submitter is
+	// blocked, so the registered set must be exactly the sessions that can
+	// still contribute frames (a pool-queued or finished session must not
+	// hold a batch open).
+	var inferC *infer.Client
+	if s.cfg.plane != nil {
+		inferC = s.cfg.plane.p.Register()
+		defer inferC.Close()
+	}
+
 	// One EncodedFrame reused across the whole feed: with the zero-alloc
 	// encoder hot path the per-frame loop stops allocating once ef.Data and
 	// the encoder's internal buffers reach steady-state capacity.
@@ -325,13 +366,19 @@ func (s *Session) Run(ctx context.Context) error {
 			if !s.emit(ctx, ev) {
 				return ctx.Err()
 			}
-			if s.cfg.det != nil {
-				img, err := codec.DecodeIFrame(s.enc.Params(), ef.Data)
+			if inferC != nil {
+				// Decode into the session's reused I-frame buffer; the plane
+				// only reads it until Infer returns, so the buffer is free to
+				// reuse on the next detection.
+				img, err := s.ifd.Decode(ef.Data)
 				if err != nil {
 					return fmt.Errorf("sieve: session %s: decoding own I-frame %d: %w",
 						s.cfg.name, ef.Number, err)
 				}
-				set := s.cfg.det.FrameLabels(img)
+				set, err := inferC.Infer(ctx, img)
+				if err != nil {
+					return err
+				}
 				s.mu.Lock()
 				s.stats.Detections++
 				s.mu.Unlock()
