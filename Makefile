@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/infer/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-full fmt vet lint ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-full docs-lint wire-smoke fmt vet lint ci
 
 all: build
 
@@ -86,10 +86,32 @@ bench-infer-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkInferBatch' -benchtime=1x -benchmem ./internal/nn/
 	$(GO) test -run='^$$' -bench='^BenchmarkPlaneRoundTrip' -benchtime=1x -benchmem ./internal/infer/
 
+# Wire ingest micro-benchmark: the SVWP path (framing + raw-pixel copy
+# over an in-memory transport + server-side decode) vs adding the same
+# source in-process — the delta is pure ingest-plane overhead. CI runs
+# the 1-iteration smoke variant.
+bench-ingest:
+	$(GO) test -run='^$$' -bench='^BenchmarkWireIngest' -benchmem .
+
+bench-ingest-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkWireIngest' -benchtime=1x -benchmem .
+
+# Wire-protocol smoke: every SVWP test (handshake, equivalence,
+# reconnect-resume, overload policies, admission, quotas) under the race
+# detector, plus the spec lint below.
+wire-smoke:
+	$(GO) test -race -run '^(TestWire|TestPusher)' -count=1 .
+
+# Docs lint: PROTOCOL.md is normative — these tests parse its
+# message-type, error-code, drain and close tables and fail when they
+# disagree with the internal/wire constants (in either direction).
+docs-lint:
+	$(GO) test -run '^TestSpec' -count=1 ./internal/wire/
+
 # The full benchmark suite doubles as the experiment record (see
 # bench_test.go); this regenerates every paper figure and table.
 bench-full:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
 
 # Everything CI checks, in CI's order.
-ci: build vet fmt lint test-short bench
+ci: build vet fmt lint test-short bench wire-smoke docs-lint

@@ -64,6 +64,7 @@ type clusterConfig struct {
 	quota       int64
 	inferDet    *Detector
 	inferBatch  int
+	ingest      *IngestListener
 }
 
 // WithSharder selects the feed-placement policy (default ShardByHash).
@@ -102,6 +103,19 @@ func WithEdgeQuota(bytes int64) ClusterOption {
 // amortisation counters.
 func WithClusterInference(det *Detector, batchSize int) ClusterOption {
 	return func(c *clusterConfig) { c.inferDet, c.inferBatch = det, batchSize }
+}
+
+// WithClusterListener attaches a network ingest plane to the cluster: Run
+// first opens the listener's admission window, accepting wire feeds (each
+// HELLO goes through AddFeed, so the sharder places it like any camera)
+// until the expected count is reached, then freezes the feed set and runs
+// it as usual. Wire feeds mix freely with feeds added in-process via
+// AddFeed, and their encoded streams are archived in the owning site's
+// EdgeStore exactly like in-process feeds. Disconnected wire feeds stay
+// live awaiting a RESUME until the run completes. See IngestListener and
+// PROTOCOL.md.
+func WithClusterListener(l *IngestListener) ClusterOption {
+	return func(c *clusterConfig) { c.ingest = l }
 }
 
 // WithClusterBuffer sets the merged event channel capacity (default 256).
@@ -155,6 +169,7 @@ type Cluster struct {
 	sharder Sharder
 	topo    *cluster.Topology
 	coord   *cluster.Coordinator
+	ingest  *IngestListener // network ingest plane, nil = in-process only
 
 	mu      sync.Mutex
 	sites   []*clusterSite
@@ -185,6 +200,7 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 		sharder: cfg.sharder,
 		topo:    topo,
 		coord:   cluster.NewCoordinator(topo),
+		ingest:  cfg.ingest,
 		events:  make(chan Event, cfg.bufSize),
 	}
 	for _, name := range names {
@@ -272,6 +288,25 @@ func (c *Cluster) Run(ctx context.Context) error {
 	if c.started {
 		c.mu.Unlock()
 		return fmt.Errorf("sieve: cluster: %w", ErrAlreadyRun)
+	}
+	// The admission window runs before the feed set freezes: wire feeds
+	// admit themselves through AddFeed exactly like in-process callers.
+	if c.ingest != nil {
+		ingest := c.ingest
+		c.mu.Unlock()
+		if err := ingest.start(ctx, clusterIngestTarget{c}); err != nil {
+			close(c.events)
+			return fmt.Errorf("sieve: cluster: %w", err)
+		}
+		defer ingest.runEnded()
+		if err := ingest.awaitAdmission(ctx); err != nil {
+			c.mu.Lock()
+			c.started = true
+			c.mu.Unlock()
+			close(c.events)
+			return fmt.Errorf("sieve: cluster: %w", err)
+		}
+		c.mu.Lock()
 	}
 	c.started = true
 	sites := append([]*clusterSite(nil), c.sites...)
@@ -492,6 +527,9 @@ type ClusterStats struct {
 	// batches and frames summed over sites, MaxBatch the fleet-wide
 	// largest batch.
 	Inference InferenceStats
+	// Ingest holds the network ingest plane's counters (zero unless the
+	// cluster was built with WithClusterListener).
+	Ingest IngestStats
 	// MergedEntries counts (camera, frame) rows in the merged view (0
 	// before Run completes).
 	MergedEntries int
@@ -515,6 +553,9 @@ func (c *Cluster) Snapshot() ClusterStats {
 	st := ClusterStats{Sites: make([]SiteStats, 0, len(sites))}
 	if merged != nil {
 		st.MergedEntries = merged.Len()
+	}
+	if c.ingest != nil {
+		st.Ingest = c.ingest.Stats()
 	}
 	for _, s := range sites {
 		ss := SiteStats{Site: s.name, Hub: s.hub.Snapshot(), StoredBytes: s.edge.Used()}

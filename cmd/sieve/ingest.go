@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"sieve"
+	"sieve/internal/synth"
+)
+
+const serveUsage = `usage: sieve serve [flags]
+
+Run the network ingest plane: listen for SVWP connections (PROTOCOL.md)
+and turn each accepted feed into a streaming hub Session. The admission
+window stays open until -feeds cameras have said HELLO (capped by
+-max-feeds); the run then starts, RESUME reconnects keep working, and
+late HELLOs are rejected. When every feed finalises, the server prints a
+per-feed report plus the ingest-plane counters and exits.
+
+Pair it with 'sieve push' from another terminal (or another machine):
+
+  terminal 1:  sieve serve -addr 127.0.0.1:7700 -feeds 2
+  terminal 2:  sieve push  -addr 127.0.0.1:7700 -dataset jackson_square
+  terminal 3:  sieve push  -addr 127.0.0.1:7700 -dataset coral_reef
+
+flags:
+`
+
+const pushUsage = `usage: sieve push [flags]
+
+Stream a synthetic camera feed to a 'sieve serve' ingest plane over TCP.
+The pusher sends raw frames and lets the server encode; if the
+connection drops it redials and RESUMEs from the last acked I-frame,
+seeking the source back so the server's stream has no gap. Exits when
+the server finalises the feed (end of stream or quota).
+
+flags:
+`
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, serveUsage)
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", "127.0.0.1:7700", "TCP listen address")
+	feeds := fs.Int("feeds", 1, "feeds to admit before the run starts")
+	maxFeeds := fs.Int("max-feeds", 0, "hard cap on admitted feeds (0 = same as -feeds)")
+	buffer := fs.Int("buffer", 8, "per-feed ingest queue depth (frames)")
+	policy := fs.String("policy", "backpressure", "overload policy: backpressure, reject-new or drop-oldest-gop")
+	maxFrames := fs.Int64("max-frames", 0, "per-feed frame quota (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-feed raw-byte quota (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	_ = fs.Parse(args)
+	if *feeds < 1 {
+		log.Fatal("need -feeds >= 1")
+	}
+	pol, err := sieve.OverloadPolicyByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lst := sieve.NewIngestListener(ln,
+		sieve.WithExpectedFeeds(*feeds),
+		sieve.WithMaxFeeds(*maxFeeds),
+		sieve.WithIngestBuffer(*buffer),
+		sieve.WithOverloadPolicy(pol),
+		sieve.WithFeedQuota(*maxFrames, *maxBytes))
+	hub := sieve.NewHub(sieve.WithListener(lst))
+	fmt.Printf("listening on %s — waiting for %d feed(s), policy %s\n", lst.Addr(), *feeds, pol)
+
+	counts := make(map[string]int)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range hub.Events() {
+			counts[ev.Feed]++
+		}
+	}()
+	start := time.Now()
+	runErr := hub.Run(ctx)
+	wall := time.Since(start)
+	<-drained
+
+	st := hub.Snapshot()
+	fmt.Printf("%d feeds, %d frames in %v\n", len(st.Feeds), st.Frames, wall.Round(time.Millisecond))
+	fmt.Printf("%-24s %8s %8s %12s %10s %8s\n",
+		"feed", "frames", "iframes", "filter-rate", "bytes", "events")
+	for _, f := range st.Feeds {
+		fmt.Printf("%-24s %8d %8d %12.4f %10d %8d\n",
+			f.Feed, f.Frames, f.IFrames, f.FilterRate(), f.PayloadBytes, counts[f.Feed])
+		if f.Err != "" {
+			fmt.Printf("%-24s   error: %s\n", "", f.Err)
+		}
+	}
+	in := st.Ingest
+	fmt.Printf("ingest: %d admitted, %d rejected, %d reconnects, %d frames (%d bytes), %d dup, %d skipped, %d shed, %d evicted\n",
+		in.FeedsAdmitted, in.FeedsRejected, in.Reconnects, in.FramesReceived, in.BytesReceived,
+		in.Duplicates, in.Skipped, in.Shed, in.Evicted)
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+func cmdPush(args []string) {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, pushUsage)
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", "127.0.0.1:7700", "server address")
+	dataset := fs.String("dataset", "jackson_square", "synthetic dataset preset")
+	seconds := fs.Int("seconds", 5, "seconds of video")
+	fps := fs.Int("fps", 5, "frames per second")
+	name := fs.String("name", "", "feed name (default: the preset name)")
+	retries := fs.Int("retries", 3, "redial attempts after a dropped connection")
+	_ = fs.Parse(args)
+
+	v, err := synth.Preset(synth.PresetName(*dataset), synth.PresetOpts{Seconds: *seconds, FPS: *fps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opts []sieve.PusherOption
+	if *name != "" {
+		opts = append(opts, sieve.WithPusherName(*name))
+	}
+	p := sieve.NewPusher(sieve.NewSynthSource(v), opts...)
+
+	ctx := context.Background()
+	for attempt := 0; ; attempt++ {
+		nc, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = p.Run(ctx, nc)
+		if err == nil {
+			break
+		}
+		if attempt >= *retries {
+			log.Fatal(err)
+		}
+		fmt.Printf("connection lost (%v), resuming from I-frame %d (attempt %d/%d)\n",
+			err, p.Stats().LastAckedI, attempt+1, *retries)
+		time.Sleep(200 * time.Millisecond)
+	}
+	st := p.Stats()
+	fmt.Printf("pushed %d frames (%d bytes), %d acks, %d reconnects, close %s\n",
+		st.FramesSent, st.BytesSent, st.Acks, st.Reconnects, st.CloseReason)
+}

@@ -11,11 +11,15 @@
 //	sieve stream -feeds 3                      # concurrent synth+replay+push feeds
 //	sieve stream -feeds 3 -gop 50 -scenecut 200 -realtime
 //	sieve cluster -feeds 6 -sites 3            # sharded edge sites + cloud merge
+//	sieve serve  -addr 127.0.0.1:7700 -feeds 2 # network ingest plane (SVWP server)
+//	sieve push   -addr 127.0.0.1:7700 -dataset jackson_square
 //	sieve seek   -in feed.svf
 //	sieve info   -in feed.svf
 //
 // Run `sieve stream -h` for the per-feed source kinds and report columns,
-// and `sieve cluster -h` for the multi-site sharding report.
+// `sieve cluster -h` for the multi-site sharding report, and
+// `sieve serve -h` / `sieve push -h` for the wire-protocol ingest plane
+// (PROTOCOL.md).
 package main
 
 import (
@@ -50,6 +54,10 @@ func main() {
 		cmdStream(os.Args[2:])
 	case "cluster":
 		cmdCluster(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "push":
+		cmdPush(os.Args[2:])
 	case "seek":
 		cmdSeek(os.Args[2:])
 	case "info":
@@ -60,13 +68,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|cluster|seek|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|cluster|serve|push|seek|info> [flags]
 
   gen      render a synthetic preset and encode it with default parameters
   encode   render and encode with explicit -gop/-scenecut
   tune     offline GOP x scenecut sweep, optionally updating a lookup table
   stream   run N concurrent feeds (synth, SVF replay, push) through the hub
   cluster  shard N feeds over K edge sites with a cloud results-merge plane
+  serve    listen for SVWP camera connections and ingest them as hub feeds
+  push     stream a synthetic feed to a serve instance, resuming on drops
   seek     list a stream's I-frames from metadata only
   info     print a stream's header and byte accounting
 

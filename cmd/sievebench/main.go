@@ -62,6 +62,8 @@ micro-benchmark suites (run via make, not -exp):
   bench-infer    BenchmarkInferBatch (ns/frame at batch 1/4/16 vs the
                  per-frame forward) and BenchmarkPlaneRoundTrip (shared
                  inference plane scheduling overhead)
+  bench-ingest   BenchmarkWireIngest — SVWP wire ingest over an in-memory
+                 transport vs the same feed added in-process
 `)
 		return
 	}

@@ -1,0 +1,131 @@
+package sieve_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sieve"
+)
+
+// ExampleSession streams a synthetic Table I feed through the semantic
+// encoder, consuming the typed event stream while Run drives the codec.
+func ExampleSession() {
+	v, err := sieve.LoadDataset("jackson_square", 2, 5)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := sieve.NewSession(sieve.NewSynthSource(v),
+		sieve.WithName("square-cam"),
+		sieve.WithClock(sieve.NewVirtualClock(time.Unix(0, 0).UTC())))
+	if err != nil {
+		panic(err)
+	}
+	encoded := make(chan int, 1)
+	go func() {
+		n := 0
+		for ev := range sess.Events() {
+			if ev.Kind == sieve.EventFrameEncoded {
+				n++
+			}
+		}
+		encoded <- n
+	}()
+	if err := sess.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	st := sess.Stats()
+	fmt.Printf("feed=%s frames=%d iframes=%d events=%d\n", st.Feed, st.Frames, st.IFrames, <-encoded)
+	// Output: feed=square-cam frames=10 iframes=1 events=10
+}
+
+// ExampleHub multiplexes two feeds with per-feed isolation, merging
+// their events onto one channel.
+func ExampleHub() {
+	hub := sieve.NewHub(sieve.WithWorkers(2))
+	for _, name := range []string{"north", "south"} {
+		v, err := sieve.LoadDataset("jackson_square", 2, 5)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := hub.Add(name, sieve.NewSynthSource(v),
+			sieve.WithClock(sieve.NewVirtualClock(time.Unix(0, 0).UTC()))); err != nil {
+			panic(err)
+		}
+	}
+	go func() {
+		for range hub.Events() {
+		}
+	}()
+	if err := hub.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	st := hub.Snapshot()
+	fmt.Printf("feeds=%d frames=%d\n", len(st.Feeds), st.Frames)
+	// Output: feeds=2 frames=20
+}
+
+// ExampleCluster shards feeds across edge sites and merges the per-site
+// result shards into one cloud view.
+func ExampleCluster() {
+	c, err := sieve.NewCluster(2, sieve.WithSharder(sieve.ShardRoundRobin()))
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"east", "west"} {
+		v, err := sieve.LoadDataset("jackson_square", 2, 5)
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := c.AddFeed(name, sieve.NewSynthSource(v),
+			sieve.WithClock(sieve.NewVirtualClock(time.Unix(0, 0).UTC()))); err != nil {
+			panic(err)
+		}
+	}
+	go func() {
+		for range c.Events() {
+		}
+	}()
+	if err := c.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	st := c.Snapshot()
+	fmt.Printf("sites=%d frames=%d\n", len(st.Sites), st.Frames)
+	// Output: sites=2 frames=20
+}
+
+// ExampleNewIngestListener wires the SVWP network ingest plane end to
+// end in-process: a hub serves a listener's admission window while a
+// Pusher streams a feed to it over an in-memory connection. Swap the
+// MemListener for a net.Listener and the Dial for a net.Dial to cross
+// machines — the protocol is identical (see PROTOCOL.md).
+func ExampleNewIngestListener() {
+	ln := sieve.NewMemListener()
+	lst := sieve.NewIngestListener(ln, sieve.WithExpectedFeeds(1))
+	hub := sieve.NewHub(sieve.WithListener(lst))
+	go func() {
+		for range hub.Events() {
+		}
+	}()
+	runErr := make(chan error, 1)
+	go func() { runErr <- hub.Run(context.Background()) }()
+
+	v, err := sieve.LoadDataset("jackson_square", 2, 5)
+	if err != nil {
+		panic(err)
+	}
+	p := sieve.NewPusher(sieve.NewSynthSource(v), sieve.WithPusherName("gate-cam"))
+	conn, err := ln.Dial()
+	if err != nil {
+		panic(err)
+	}
+	if err := p.Run(context.Background(), conn); err != nil {
+		panic(err)
+	}
+	if err := <-runErr; err != nil {
+		panic(err)
+	}
+	fmt.Printf("feeds=%v frames=%d close=%s\n",
+		lst.Feeds(), lst.Stats().FramesReceived, p.Stats().CloseReason)
+	// Output: feeds=[gate-cam] frames=10 close=END_OF_STREAM
+}

@@ -65,6 +65,17 @@ func WithHubPlane(p *InferencePlane) HubOption {
 	return func(h *Hub) { h.plane = p }
 }
 
+// WithListener attaches a network ingest plane: Run first opens the
+// listener's admission window, accepting wire feeds (each HELLO becomes
+// a hub feed fed by its connection) until the expected count is reached,
+// then freezes the feed set and runs it as usual. Wire feeds may be
+// mixed freely with feeds added in-process via Add. Disconnected wire
+// feeds stay live awaiting a RESUME until the run completes. See
+// IngestListener and PROTOCOL.md.
+func WithListener(l *IngestListener) HubOption {
+	return func(h *Hub) { h.ingest = l }
+}
+
 // FeedStats is one feed's counters plus its terminal error, if any.
 type FeedStats struct {
 	SessionStats
@@ -85,6 +96,9 @@ type HubStats struct {
 	// Inference holds the shared plane's batching counters (zero unless the
 	// hub was built with WithHubInference/WithHubPlane).
 	Inference InferenceStats
+	// Ingest holds the network ingest plane's counters (zero unless the
+	// hub was built with WithListener).
+	Ingest IngestStats
 }
 
 // FilterRate is the aggregate share of frames dropped across all feeds.
@@ -105,6 +119,7 @@ type Hub struct {
 	pool    *runner.Pool
 	bufSize int
 	plane   *InferencePlane // shared inference plane, nil = per-feed config
+	ingest  *IngestListener // network ingest plane, nil = in-process only
 
 	mu      sync.Mutex
 	feeds   []*hubFeed
@@ -173,6 +188,25 @@ func (h *Hub) Run(ctx context.Context) error {
 	if h.started {
 		h.mu.Unlock()
 		return fmt.Errorf("sieve: hub: %w", ErrAlreadyRun)
+	}
+	// The admission window runs before the feed set freezes: wire feeds
+	// admit themselves through Add exactly like in-process callers.
+	if h.ingest != nil {
+		ingest := h.ingest
+		h.mu.Unlock()
+		if err := ingest.start(ctx, hubIngestTarget{h}); err != nil {
+			close(h.events)
+			return fmt.Errorf("sieve: hub: %w", err)
+		}
+		defer ingest.runEnded()
+		if err := ingest.awaitAdmission(ctx); err != nil {
+			h.mu.Lock()
+			h.started = true
+			h.mu.Unlock()
+			close(h.events)
+			return fmt.Errorf("sieve: hub: %w", err)
+		}
+		h.mu.Lock()
 	}
 	h.started = true
 	feeds := append([]*hubFeed(nil), h.feeds...)
@@ -286,6 +320,9 @@ func (h *Hub) Snapshot() HubStats {
 	st := HubStats{Feeds: make([]FeedStats, 0, len(feeds))}
 	if h.plane != nil {
 		st.Inference = h.plane.Stats()
+	}
+	if h.ingest != nil {
+		st.Ingest = h.ingest.Stats()
 	}
 	for _, f := range feeds {
 		fs := FeedStats{SessionStats: f.sess.Stats()}

@@ -1,0 +1,55 @@
+package sieve
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkWireIngest prices the SVWP wire path — framing, raw-pixel
+// copy over an in-memory transport, server-side decode into pooled
+// frames — against adding the identical source to the hub in-process.
+// The delta is pure ingest-plane overhead: both arms run the same
+// encoder on the same frames.
+func BenchmarkWireIngest(b *testing.B) {
+	const frames = 48
+	v := quietScene(b, frames)
+	params := quietParams(v)
+	newSrc := func() FrameSource { return NewSynthSource(v) }
+
+	b.Run("wire", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ln := NewMemListener()
+			lst := NewIngestListener(ln, WithExpectedFeeds(1))
+			hub := NewHub(WithListener(lst))
+			errc := startHub(hub)
+			conn, err := ln.Dial()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := NewPusher(newSrc(), WithPusherName("cam"), WithPusherEncoding(params))
+			if err := p.Run(context.Background(), conn); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(frames*b.N)/b.Elapsed().Seconds(), "frames/s")
+	})
+
+	b.Run("inprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hub := NewHub()
+			if _, err := hub.Add("cam", newSrc(), WithTunedParams(params)); err != nil {
+				b.Fatal(err)
+			}
+			errc := startHub(hub)
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(frames*b.N)/b.Elapsed().Seconds(), "frames/s")
+	})
+}

@@ -510,3 +510,39 @@ func BenchmarkDecodeI64x48(b *testing.B) {
 		}
 	}
 }
+
+func TestForceNextIOverridesDecision(t *testing.T) {
+	// Quiet scene, huge GOP: without forcing, every frame after 0 is a P.
+	p := Params{Width: 32, Height: 32, GOPSize: 100, Scenecut: 0}
+	frames := testVideo(32, 32, 10, 100, 6)
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ef EncodedFrame
+	for i, f := range frames {
+		if i == 4 {
+			enc.ForceNextI()
+		}
+		if err := enc.EncodeInto(f, &ef); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		wantI := i == 0 || i == 4
+		if (ef.Type == FrameI) != wantI {
+			t.Errorf("frame %d type = %v, want I=%v", i, ef.Type, wantI)
+		}
+		// The forced I-frame stream must stay decodable end to end.
+		if _, err := dec.Decode(ef.Data); err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+	}
+	// The flag is one-shot and resets the GOP distance: frame 4+GOPSize
+	// would be the next scheduled I, nothing before it.
+	if enc.sinceI != len(frames)-1-4 {
+		t.Fatalf("sinceI = %d after forced I at 4, want %d", enc.sinceI, len(frames)-1-4)
+	}
+}

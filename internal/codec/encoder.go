@@ -27,6 +27,7 @@ type Encoder struct {
 	scratch  *frame.YUV // ping-pong partner for P-frame reconstruction
 	num      int        // next frame number
 	sinceI   int        // frames since last I-frame (0 right after an I)
+	forceI   bool       // next EncodeInto must place an I-frame (see ForceNextI)
 	bc       *blockCoder
 	w        *bitstream.Writer
 }
@@ -73,8 +74,20 @@ func (e *Encoder) EncodeInto(f *frame.YUV, ef *EncodedFrame) error {
 		dist = e.sinceI + 1 // distance this frame would have from last I
 	}
 	ft := DecideType(cost, dist, e.p)
+	if e.forceI {
+		ft = FrameI
+		e.forceI = false
+	}
 	return e.encodeAs(f, ft, cost, ef)
 }
+
+// ForceNextI makes the next EncodeInto place an I-frame regardless of the
+// GOP/scenecut decision, resetting the GOP distance as any I-frame does.
+// Stream ingest uses it at discontinuities: a frame that follows a gap
+// (reconnect, shed frames) must not predict from a reference the stored
+// stream's decoder never saw. The flag is consumed by the next EncodeInto
+// and has no effect on any later frame.
+func (e *Encoder) ForceNextI() { e.forceI = true }
 
 // EncodeForced compresses the next frame with a caller-chosen type,
 // bypassing the decision rule (frame 0 must still be an I-frame).

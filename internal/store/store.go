@@ -416,3 +416,25 @@ func (s *EdgeStore) SeekEvent(camera string, target int) (container.FrameMeta, e
 	}
 	return best, nil
 }
+
+// ResumeCursor summarises a stored stream for the ingest plane's
+// reconnect-resume validation: the index of the last I-frame in the
+// stream (-1 when the stream has none, which a well-formed SVF stream
+// never does) and the total frame count. A RESUME token for a feed whose
+// live session is gone is checked against this cursor — a token past the
+// last stored I-frame points beyond what the edge retained, so the
+// server rejects the resume instead of inventing history.
+func (s *EdgeStore) ResumeCursor(camera string) (lastIFrame, frames int, err error) {
+	r, err := s.Open(camera)
+	if err != nil {
+		return 0, 0, err
+	}
+	lastIFrame = -1
+	r.ScanMeta(func(m container.FrameMeta) bool {
+		if m.Type == codec.FrameI {
+			lastIFrame = m.Index
+		}
+		return true
+	})
+	return lastIFrame, r.NumFrames(), nil
+}

@@ -352,3 +352,21 @@ func TestResultsDBCamerasAndLen(t *testing.T) {
 		t.Fatalf("Len = %d, want 3", db.Len())
 	}
 }
+
+func TestResumeCursor(t *testing.T) {
+	s := NewEdgeStore(0)
+	// writeStream(t, 50, 10): 50 frames, I-frames every 10 → last I at 40.
+	if err := s.Put("cam", writeStream(t, 50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	lastI, frames, err := s.ResumeCursor("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastI != 40 || frames != 50 {
+		t.Fatalf("ResumeCursor = (%d, %d), want (40, 50)", lastI, frames)
+	}
+	if _, _, err := s.ResumeCursor("ghost"); err == nil {
+		t.Fatal("unknown camera accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrListenerClosed is returned by MemListener.Accept and Dial after
+// Close.
+var ErrListenerClosed = errors.New("wire: listener closed")
+
+// MemListener is an in-process net.Listener over net.Pipe connections:
+// Dial returns the client end and hands the server end to Accept. It is
+// the deterministic transport the ingest tests and examples run on — no
+// ports, no kernel buffering, writes rendezvous with reads — while
+// exercising exactly the code paths a TCP listener does.
+type MemListener struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan net.Conn
+	done   chan struct{}
+}
+
+// NewMemListener returns an open in-memory listener.
+func NewMemListener() *MemListener {
+	return &MemListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial connects to the listener, blocking until Accept takes the server
+// end (net.Pipe is unbuffered either way, so this adds no new
+// asynchrony).
+func (l *MemListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrListenerClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Close implements net.Listener. Idempotent.
+func (l *MemListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }

@@ -1,0 +1,188 @@
+package wire
+
+// spec_test.go is the docs lint: it parses the normative tables in
+// PROTOCOL.md (repository root) and fails when they disagree with the
+// constants in this package, in either direction. The protocol changes
+// by changing both together.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func specPath(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "PROTOCOL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("PROTOCOL.md not found at repository root: %v", err)
+	}
+	return p
+}
+
+// tableRows scans PROTOCOL.md for markdown table rows whose first cell
+// matches keyPat, returning first-cell → all second cells seen with it
+// (decimal keys legitimately repeat across the error, drain and close
+// tables). Separator rows (|---|) never match a value pattern.
+func tableRows(t *testing.T, keyPat string) map[string][]string {
+	t.Helper()
+	re := regexp.MustCompile(`^\|\s*(` + keyPat + `)\s*\|\s*([A-Za-z_` + "`" + `][^|]*?)\s*\|`)
+	f, err := os.Open(specPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows := make(map[string][]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := re.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		key, val := m[1], strings.Trim(m[2], "` ")
+		rows[key] = append(rows[key], val)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestSpecMessageTypes pins the §2 message-type table (| 0xNN | NAME |)
+// to wire.MessageTypes().
+func TestSpecMessageTypes(t *testing.T) {
+	rows := tableRows(t, `0x[0-9a-fA-F]{2}`)
+	want := MessageTypes()
+	if len(rows) != len(want) {
+		t.Errorf("PROTOCOL.md lists %d message types, code has %d", len(rows), len(want))
+	}
+	for code, name := range want {
+		key := fmt.Sprintf("0x%02x", uint8(code))
+		got, ok := rows[key]
+		if !ok {
+			t.Errorf("PROTOCOL.md: message type %s (%s) missing from the table", key, name)
+			continue
+		}
+		if len(got) != 1 || got[0] != name {
+			t.Errorf("PROTOCOL.md: message type %s named %q, code says %q", key, got, name)
+		}
+	}
+	for key, names := range rows {
+		var v uint8
+		if _, err := fmt.Sscanf(key, "0x%02x", &v); err != nil {
+			t.Fatalf("unparseable message-type row key %q", key)
+		}
+		if _, ok := want[MsgType(v)]; !ok {
+			t.Errorf("PROTOCOL.md lists message type %s (%v) that the code does not define", key, names)
+		}
+	}
+}
+
+// TestSpecErrorCodes pins the ERROR-code table (| N | SOME_NAME |, names
+// in CONSTANT_CASE) to wire.ErrorCodes().
+func TestSpecErrorCodes(t *testing.T) {
+	all := tableRows(t, `\d{1,3}`)
+	want := ErrorCodes()
+	// Decimal keys are shared with the drain and close tables, but SVWP
+	// names are globally unique, so a (code, name) pair is unambiguous.
+	for code, name := range want {
+		key := strconv.Itoa(int(code))
+		if _, ok := all[key]; !ok {
+			t.Errorf("PROTOCOL.md: error code %d (%s) missing from the table", code, name)
+			continue
+		}
+		if !specHasPair(t, key, name) {
+			t.Errorf("PROTOCOL.md: error code %d is not paired with name %s in any table", code, name)
+		}
+	}
+	// Reverse direction: every CONSTANT_CASE name paired with a decimal
+	// key must be one the code defines (in any of the three tables).
+	known := map[string]bool{}
+	for _, name := range want {
+		known[name] = true
+	}
+	for _, d := range []DrainCode{DrainShed, DrainEvicted} {
+		known[d.String()] = true
+	}
+	for _, c := range []CloseReason{CloseEndOfStream, CloseQuotaFrames, CloseQuotaBytes, CloseShutdown} {
+		known[c.String()] = true
+	}
+	constCase := regexp.MustCompile(`^[A-Z][A-Z_]+$`)
+	for key, names := range all {
+		for _, name := range names {
+			if constCase.MatchString(name) && !known[name] {
+				t.Errorf("PROTOCOL.md lists code %s = %s that the wire package does not define", key, name)
+			}
+		}
+	}
+}
+
+// TestSpecDrainAndCloseCodes pins the DRAIN-code and CLOSE-reason
+// tables to the String() methods, which are the canonical names.
+func TestSpecDrainAndCloseCodes(t *testing.T) {
+	for _, d := range []DrainCode{DrainShed, DrainEvicted} {
+		if !specHasPair(t, strconv.Itoa(int(d)), d.String()) {
+			t.Errorf("PROTOCOL.md: drain code %d (%s) missing", d, d)
+		}
+	}
+	for _, c := range []CloseReason{CloseEndOfStream, CloseQuotaFrames, CloseQuotaBytes, CloseShutdown} {
+		if !specHasPair(t, strconv.Itoa(int(c)), c.String()) {
+			t.Errorf("PROTOCOL.md: close reason %d (%s) missing", c, c)
+		}
+	}
+}
+
+// TestSpecConstants pins the §1 constants table.
+func TestSpecConstants(t *testing.T) {
+	text := specText(t)
+	for _, pair := range []struct {
+		name string
+		val  string
+	}{
+		{"ProtocolVersion", "Version **" + strconv.Itoa(ProtocolVersion) + "**"},
+		{"HelloMagic", fmt.Sprintf("0x%08x", uint32(HelloMagic))},
+		{"MaxMessage", "1<<26"},
+		{"MaxFeedName", strconv.Itoa(MaxFeedName)},
+		{"MaxDimension", strconv.Itoa(MaxDimension)},
+	} {
+		if !strings.Contains(text, pair.name) {
+			t.Errorf("PROTOCOL.md: constant %s not mentioned", pair.name)
+			continue
+		}
+		if !strings.Contains(text, pair.val) {
+			t.Errorf("PROTOCOL.md: value %q for constant %s not found", pair.val, pair.name)
+		}
+	}
+}
+
+func specText(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(specPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// specHasPair reports whether some table row pairs key with name.
+func specHasPair(t *testing.T, key, name string) bool {
+	t.Helper()
+	re := regexp.MustCompile(`\|\s*` + regexp.QuoteMeta(key) + `\s*\|\s*` + regexp.QuoteMeta(name) + `\s*\|`)
+	return re.MatchString(specText(t))
+}
+
+// specHasName reports whether a CONSTANT_CASE name appears as a table
+// cell anywhere in the spec.
+func specHasName(t *testing.T, name string) bool {
+	t.Helper()
+	re := regexp.MustCompile(`\|\s*` + regexp.QuoteMeta(name) + `\s*\|`)
+	return re.MatchString(specText(t))
+}

@@ -1,0 +1,622 @@
+// Package wire implements the SVWP network ingest protocol: a
+// length-prefixed, big-endian message framing that carries raw video
+// frames from a camera-side Pusher to a server-side ingest listener,
+// which encodes them through the semantic encoder exactly as an
+// in-process feed would. PROTOCOL.md at the repository root is the
+// normative byte-level specification; this package is its reference
+// implementation, and spec_test.go fails the build when the two
+// disagree.
+//
+// The protocol is deliberately minimal: eight message types, fixed
+// payload layouts with an explicit forward-compatibility rule
+// (receivers ignore unknown payload tails), and server-authoritative
+// resume (WELCOME tells the client the exact next frame index the
+// server expects, so ACK loss never duplicates or drops a frame).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sieve/internal/frame"
+)
+
+// Protocol constants. These values are normative — they appear verbatim
+// in PROTOCOL.md and are cross-checked by spec_test.go.
+const (
+	// ProtocolVersion is the SVWP wire protocol version this package
+	// speaks. Peers with a different version never get past HELLO/RESUME.
+	ProtocolVersion = 1
+	// HelloMagic opens every HELLO and RESUME payload: "SVWP" big-endian.
+	HelloMagic = 0x53565750
+	// MaxMessage bounds a single message payload (64 MiB). A length
+	// prefix above this is a protocol violation, not an allocation.
+	MaxMessage = 1 << 26
+	// MaxFeedName bounds the feed-name field in HELLO/RESUME.
+	MaxFeedName = 255
+	// MaxDimension bounds frame width and height negotiated in HELLO.
+	MaxDimension = 8192
+)
+
+// MsgType identifies a wire message. The numeric values are normative.
+type MsgType uint8
+
+// Message types. Direction conventions: HELLO/RESUME/FRAME flow client
+// to server, WELCOME/ACK/DRAIN/ERROR flow server to client, CLOSE flows
+// both ways.
+const (
+	MsgHello   MsgType = 0x01
+	MsgWelcome MsgType = 0x02
+	MsgResume  MsgType = 0x03
+	MsgFrame   MsgType = 0x04
+	MsgAck     MsgType = 0x05
+	MsgDrain   MsgType = 0x06
+	MsgClose   MsgType = 0x07
+	MsgError   MsgType = 0x08
+)
+
+// messageNames is the canonical code→name table (also what spec_test.go
+// checks PROTOCOL.md against).
+var messageNames = map[MsgType]string{
+	MsgHello:   "HELLO",
+	MsgWelcome: "WELCOME",
+	MsgResume:  "RESUME",
+	MsgFrame:   "FRAME",
+	MsgAck:     "ACK",
+	MsgDrain:   "DRAIN",
+	MsgClose:   "CLOSE",
+	MsgError:   "ERROR",
+}
+
+// String names the message type for logs and errors.
+func (t MsgType) String() string {
+	if n, ok := messageNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
+}
+
+// MessageTypes returns the full code→name table, for spec linting.
+func MessageTypes() map[MsgType]string {
+	out := make(map[MsgType]string, len(messageNames))
+	for k, v := range messageNames {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrCode classifies an ERROR message. The numeric values are normative.
+type ErrCode uint16
+
+const (
+	// ErrCodeVersion: peer speaks an unsupported protocol version.
+	ErrCodeVersion ErrCode = 1
+	// ErrCodeFeedsExhausted: admission control rejected a new feed
+	// (MaxFeeds reached or the admission window has closed).
+	ErrCodeFeedsExhausted ErrCode = 2
+	// ErrCodeDuplicateFeed: a HELLO named a feed that is already live.
+	ErrCodeDuplicateFeed ErrCode = 3
+	// ErrCodeUnknownFeed: a RESUME named a feed the server never admitted.
+	ErrCodeUnknownFeed ErrCode = 4
+	// ErrCodeBadResume: the resume token is inconsistent with server
+	// state (past the end of the stored stream, or ahead of the acked
+	// high-water mark).
+	ErrCodeBadResume ErrCode = 5
+	// ErrCodeFeedFinished: a RESUME named a feed whose stream was already
+	// finalised; there is nothing left to resume into.
+	ErrCodeFeedFinished ErrCode = 6
+	// ErrCodeProtocol: malformed message, out-of-order frame index, bad
+	// geometry — any violation of the wire grammar.
+	ErrCodeProtocol ErrCode = 7
+	// ErrCodeClosed: the ingest plane is no longer accepting connections
+	// (the run has completed or the listener shut down).
+	ErrCodeClosed ErrCode = 8
+)
+
+// errCodeNames is the canonical error-code table (spec-linted).
+var errCodeNames = map[ErrCode]string{
+	ErrCodeVersion:        "UNSUPPORTED_VERSION",
+	ErrCodeFeedsExhausted: "FEEDS_EXHAUSTED",
+	ErrCodeDuplicateFeed:  "DUPLICATE_FEED",
+	ErrCodeUnknownFeed:    "UNKNOWN_FEED",
+	ErrCodeBadResume:      "BAD_RESUME_TOKEN",
+	ErrCodeFeedFinished:   "FEED_FINISHED",
+	ErrCodeProtocol:       "PROTOCOL_VIOLATION",
+	ErrCodeClosed:         "INGEST_CLOSED",
+}
+
+// String names the error code.
+func (c ErrCode) String() string {
+	if n, ok := errCodeNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint16(c))
+}
+
+// ErrorCodes returns the full error-code table, for spec linting.
+func ErrorCodes() map[ErrCode]string {
+	out := make(map[ErrCode]string, len(errCodeNames))
+	for k, v := range errCodeNames {
+		out[k] = v
+	}
+	return out
+}
+
+// DrainCode says why the server shed load. The numeric values are
+// normative.
+type DrainCode uint8
+
+const (
+	// DrainShed: the reject-new policy dropped the frame named in the
+	// DRAIN message; the client should not resend it.
+	DrainShed DrainCode = 1
+	// DrainEvicted: the drop-oldest-GOP policy evicted Count queued
+	// frames starting at Frame to make room for newer ones.
+	DrainEvicted DrainCode = 2
+)
+
+// String names the drain code.
+func (d DrainCode) String() string {
+	switch d {
+	case DrainShed:
+		return "SHED"
+	case DrainEvicted:
+		return "EVICTED"
+	default:
+		return fmt.Sprintf("DrainCode(%d)", uint8(d))
+	}
+}
+
+// CloseReason says why a CLOSE was sent. The numeric values are
+// normative.
+type CloseReason uint8
+
+const (
+	// CloseEndOfStream: graceful end (client ran out of frames, or the
+	// server finalised the feed's stream).
+	CloseEndOfStream CloseReason = 0
+	// CloseQuotaFrames: the feed hit its per-feed frame quota; the
+	// stream so far is kept and finalised.
+	CloseQuotaFrames CloseReason = 2
+	// CloseQuotaBytes: the feed hit its per-feed raw-byte quota.
+	CloseQuotaBytes CloseReason = 3
+	// CloseShutdown: the server is shutting down the ingest plane.
+	CloseShutdown CloseReason = 4
+)
+
+// String names the close reason.
+func (c CloseReason) String() string {
+	switch c {
+	case CloseEndOfStream:
+		return "END_OF_STREAM"
+	case CloseQuotaFrames:
+		return "QUOTA_FRAMES"
+	case CloseQuotaBytes:
+		return "QUOTA_BYTES"
+	case CloseShutdown:
+		return "SHUTDOWN"
+	default:
+		return fmt.Sprintf("CloseReason(%d)", uint8(c))
+	}
+}
+
+// Hello is the client's opening message on a fresh connection: it names
+// the feed and fixes its geometry and encoder parameters for the feed's
+// whole lifetime (reconnects RESUME instead of re-negotiating).
+type Hello struct {
+	Feed          string
+	Width, Height int
+	FPS           int
+	// Quality in [1,100]; 0 selects the server default (85).
+	Quality int
+	// GOP is the maximum I-frame distance; 0 selects the default (250).
+	GOP int
+	// MinGOP is the scenecut refractory distance; 0 selects the default.
+	MinGOP int
+	// Scenecut is the I-frame placement threshold (0 disables scenecut
+	// placement, matching the encoder's convention).
+	Scenecut float64
+}
+
+// Welcome is the server's accept reply to HELLO or RESUME. ResumeFrom is
+// authoritative: the client MUST continue with exactly that source frame
+// index regardless of its own ack bookkeeping.
+type Welcome struct {
+	// Version is the server's protocol version.
+	Version int
+	// ResumeFrom is the next source frame index the server expects (0 on
+	// a fresh feed).
+	ResumeFrom int64
+	// FrameBytes is the exact FRAME payload size the server expects
+	// after the index field: W*H + 2*(W/2 * H/2) raw pixel bytes.
+	FrameBytes int
+}
+
+// Resume re-attaches a reconnecting client to its live feed. Token is
+// the last I-frame index the client saw acked, or -1 if none; the server
+// validates it against its own state but answers with the authoritative
+// ResumeFrom either way.
+type Resume struct {
+	Feed  string
+	Token int64
+}
+
+// Ack confirms one frame was encoded into the feed's stream, with the
+// frame type the encoder chose. Acks are advisory and may be lost; the
+// resume handshake never depends on any individual ack arriving.
+type Ack struct {
+	Frame int64
+	// Type is the raw FrameType value (0 = I, 1 = P).
+	Type uint8
+}
+
+// Drain reports shed load under an overload policy.
+type Drain struct {
+	Code DrainCode
+	// Frame is the first affected source frame index.
+	Frame int64
+	// Count is how many frames were affected.
+	Count int
+}
+
+// Close ends a feed in one direction. Frames carries the sender's frame
+// count high-water mark (frames sent for a client CLOSE, frames encoded
+// for a server CLOSE).
+type Close struct {
+	Reason CloseReason
+	Frames int64
+}
+
+// ErrorMsg is a terminal server rejection; the connection closes after.
+type ErrorMsg struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error implements the error interface so server rejections can travel
+// Go error paths verbatim.
+func (e *ErrorMsg) Error() string {
+	return fmt.Sprintf("wire: server error %s: %s", e.Code, e.Msg)
+}
+
+// FrameBytes returns the FRAME payload size after the index field for a
+// w×h feed: the Y plane plus two quarter-size chroma planes, rows packed
+// with a compact stride.
+func FrameBytes(w, h int) int {
+	return w*h + 2*((w/2)*(h/2))
+}
+
+// appendUint16/32/64 are the big-endian primitive writers shared by all
+// payload encoders.
+func appendUint16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendUint32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendUint64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// reader walks a payload, tracking truncation so each Parse* func can
+// validate once at the end.
+type reader struct {
+	b     []byte
+	short bool
+}
+
+func (r *reader) take(n int) []byte {
+	if r.short || len(r.b) < n {
+		r.short = true
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) u8() uint8 {
+	if v := r.take(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if v := r.take(2); v != nil {
+		return binary.BigEndian.Uint16(v)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if v := r.take(4); v != nil {
+		return binary.BigEndian.Uint32(v)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if v := r.take(8); v != nil {
+		return binary.BigEndian.Uint64(v)
+	}
+	return 0
+}
+
+func (r *reader) err(what string) error {
+	if r.short {
+		return fmt.Errorf("wire: truncated %s payload", what)
+	}
+	return nil
+}
+
+// AppendHello encodes a HELLO payload.
+//
+//	u32 magic "SVWP" | u16 version | u16 reserved | u16 nameLen | name |
+//	u32 width | u32 height | u32 fps | u32 quality | u32 gop |
+//	u32 minGOP | f64 scenecut
+func AppendHello(b []byte, h Hello) []byte {
+	b = appendUint32(b, HelloMagic)
+	b = appendUint16(b, ProtocolVersion)
+	b = appendUint16(b, 0)
+	b = appendUint16(b, uint16(len(h.Feed)))
+	b = append(b, h.Feed...)
+	b = appendUint32(b, uint32(h.Width))
+	b = appendUint32(b, uint32(h.Height))
+	b = appendUint32(b, uint32(h.FPS))
+	b = appendUint32(b, uint32(h.Quality))
+	b = appendUint32(b, uint32(h.GOP))
+	b = appendUint32(b, uint32(h.MinGOP))
+	b = appendUint64(b, math.Float64bits(h.Scenecut))
+	return b
+}
+
+// parsePreamble validates the shared HELLO/RESUME prefix and returns the
+// feed name.
+func parsePreamble(r *reader, what string) (string, error) {
+	magic, version := r.u32(), r.u16()
+	r.u16() // reserved: must-ignore
+	nameLen := int(r.u16())
+	name := r.take(nameLen)
+	if err := r.err(what); err != nil {
+		return "", err
+	}
+	if magic != HelloMagic {
+		return "", fmt.Errorf("wire: %s: bad magic 0x%08x", what, magic)
+	}
+	if version != ProtocolVersion {
+		return "", fmt.Errorf("wire: %s: unsupported protocol version %d (want %d)",
+			what, version, ProtocolVersion)
+	}
+	if nameLen == 0 || nameLen > MaxFeedName {
+		return "", fmt.Errorf("wire: %s: feed name length %d outside [1,%d]", what, nameLen, MaxFeedName)
+	}
+	return string(name), nil
+}
+
+// ParseHello decodes and validates a HELLO payload.
+func ParseHello(payload []byte) (Hello, error) {
+	r := &reader{b: payload}
+	name, err := parsePreamble(r, "HELLO")
+	if err != nil {
+		return Hello{}, err
+	}
+	h := Hello{Feed: name}
+	h.Width, h.Height = int(r.u32()), int(r.u32())
+	h.FPS = int(r.u32())
+	h.Quality = int(r.u32())
+	h.GOP = int(r.u32())
+	h.MinGOP = int(r.u32())
+	h.Scenecut = math.Float64frombits(r.u64())
+	if err := r.err("HELLO"); err != nil {
+		return Hello{}, err
+	}
+	if h.Width <= 0 || h.Height <= 0 || h.Width > MaxDimension || h.Height > MaxDimension {
+		return Hello{}, fmt.Errorf("wire: HELLO: geometry %dx%d outside (0,%d]", h.Width, h.Height, MaxDimension)
+	}
+	if h.Width%2 != 0 || h.Height%2 != 0 {
+		return Hello{}, fmt.Errorf("wire: HELLO: geometry %dx%d must be even (YUV 4:2:0)", h.Width, h.Height)
+	}
+	if h.FPS <= 0 {
+		return Hello{}, fmt.Errorf("wire: HELLO: fps %d must be positive", h.FPS)
+	}
+	if h.Quality < 0 || h.Quality > 100 {
+		return Hello{}, fmt.Errorf("wire: HELLO: quality %d outside [0,100]", h.Quality)
+	}
+	if h.Scenecut < 0 || math.IsNaN(h.Scenecut) || math.IsInf(h.Scenecut, 0) {
+		return Hello{}, fmt.Errorf("wire: HELLO: scenecut %v must be a finite non-negative number", h.Scenecut)
+	}
+	return h, nil
+}
+
+// AppendWelcome encodes a WELCOME payload.
+//
+//	u16 version | u16 reserved | i64 resumeFrom | u32 frameBytes
+func AppendWelcome(b []byte, w Welcome) []byte {
+	b = appendUint16(b, uint16(w.Version))
+	b = appendUint16(b, 0)
+	b = appendUint64(b, uint64(w.ResumeFrom))
+	b = appendUint32(b, uint32(w.FrameBytes))
+	return b
+}
+
+// ParseWelcome decodes a WELCOME payload.
+func ParseWelcome(payload []byte) (Welcome, error) {
+	r := &reader{b: payload}
+	w := Welcome{Version: int(r.u16())}
+	r.u16()
+	w.ResumeFrom = int64(r.u64())
+	w.FrameBytes = int(r.u32())
+	if err := r.err("WELCOME"); err != nil {
+		return Welcome{}, err
+	}
+	if w.ResumeFrom < 0 {
+		return Welcome{}, fmt.Errorf("wire: WELCOME: negative resumeFrom %d", w.ResumeFrom)
+	}
+	return w, nil
+}
+
+// AppendResume encodes a RESUME payload.
+//
+//	u32 magic "SVWP" | u16 version | u16 reserved | u16 nameLen | name |
+//	i64 token
+func AppendResume(b []byte, rs Resume) []byte {
+	b = appendUint32(b, HelloMagic)
+	b = appendUint16(b, ProtocolVersion)
+	b = appendUint16(b, 0)
+	b = appendUint16(b, uint16(len(rs.Feed)))
+	b = append(b, rs.Feed...)
+	b = appendUint64(b, uint64(rs.Token))
+	return b
+}
+
+// ParseResume decodes and validates a RESUME payload.
+func ParseResume(payload []byte) (Resume, error) {
+	r := &reader{b: payload}
+	name, err := parsePreamble(r, "RESUME")
+	if err != nil {
+		return Resume{}, err
+	}
+	rs := Resume{Feed: name, Token: int64(r.u64())}
+	if err := r.err("RESUME"); err != nil {
+		return Resume{}, err
+	}
+	if rs.Token < -1 {
+		return Resume{}, fmt.Errorf("wire: RESUME: token %d below -1", rs.Token)
+	}
+	return rs, nil
+}
+
+// AppendFrameHeader encodes the fixed prefix of a FRAME payload (the raw
+// plane bytes follow).
+//
+//	i64 index | Y rows | Cb rows | Cr rows (compact stride)
+func AppendFrameHeader(b []byte, index int64) []byte {
+	return appendUint64(b, uint64(index))
+}
+
+// FrameIndex extracts the index field of a FRAME payload.
+func FrameIndex(payload []byte) (int64, error) {
+	if len(payload) < 8 {
+		return 0, fmt.Errorf("wire: truncated FRAME payload (%d bytes)", len(payload))
+	}
+	return int64(binary.BigEndian.Uint64(payload)), nil
+}
+
+// DecodeFrameInto copies a FRAME payload's pixel data into f, which must
+// already have the feed's geometry. The payload length must be exactly
+// 8 + FrameBytes(w,h).
+func DecodeFrameInto(payload []byte, f *frame.YUV) (int64, error) {
+	idx, err := FrameIndex(payload)
+	if err != nil {
+		return 0, err
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("wire: FRAME: negative index %d", idx)
+	}
+	pix := payload[8:]
+	want := FrameBytes(f.W, f.H)
+	if len(pix) != want {
+		return 0, fmt.Errorf("wire: FRAME %d: %d pixel bytes, want %d for %dx%d",
+			idx, len(pix), want, f.W, f.H)
+	}
+	for _, p := range []*frame.Plane{f.Y, f.Cb, f.Cr} {
+		n := p.W * p.H
+		src := pix[:n]
+		pix = pix[n:]
+		if p.Stride == p.W {
+			copy(p.Pix[:n], src)
+			continue
+		}
+		for y := 0; y < p.H; y++ {
+			copy(p.Row(y), src[y*p.W:(y+1)*p.W])
+		}
+	}
+	return idx, nil
+}
+
+// AppendFramePixels appends f's plane rows to b in wire order.
+func AppendFramePixels(b []byte, f *frame.YUV) []byte {
+	for _, p := range []*frame.Plane{f.Y, f.Cb, f.Cr} {
+		for y := 0; y < p.H; y++ {
+			b = append(b, p.Row(y)...)
+		}
+	}
+	return b
+}
+
+// AppendAck encodes an ACK payload.
+//
+//	i64 frame | u8 frameType
+func AppendAck(b []byte, a Ack) []byte {
+	b = appendUint64(b, uint64(a.Frame))
+	return append(b, a.Type)
+}
+
+// ParseAck decodes an ACK payload.
+func ParseAck(payload []byte) (Ack, error) {
+	r := &reader{b: payload}
+	a := Ack{Frame: int64(r.u64()), Type: r.u8()}
+	if err := r.err("ACK"); err != nil {
+		return Ack{}, err
+	}
+	return a, nil
+}
+
+// AppendDrain encodes a DRAIN payload.
+//
+//	u8 code | i64 frame | u32 count
+func AppendDrain(b []byte, d Drain) []byte {
+	b = append(b, uint8(d.Code))
+	b = appendUint64(b, uint64(d.Frame))
+	return appendUint32(b, uint32(d.Count))
+}
+
+// ParseDrain decodes a DRAIN payload.
+func ParseDrain(payload []byte) (Drain, error) {
+	r := &reader{b: payload}
+	d := Drain{Code: DrainCode(r.u8()), Frame: int64(r.u64()), Count: int(r.u32())}
+	if err := r.err("DRAIN"); err != nil {
+		return Drain{}, err
+	}
+	return d, nil
+}
+
+// AppendClose encodes a CLOSE payload.
+//
+//	u8 reason | i64 frames
+func AppendClose(b []byte, c Close) []byte {
+	b = append(b, uint8(c.Reason))
+	return appendUint64(b, uint64(c.Frames))
+}
+
+// ParseClose decodes a CLOSE payload.
+func ParseClose(payload []byte) (Close, error) {
+	r := &reader{b: payload}
+	c := Close{Reason: CloseReason(r.u8()), Frames: int64(r.u64())}
+	if err := r.err("CLOSE"); err != nil {
+		return Close{}, err
+	}
+	return c, nil
+}
+
+// AppendError encodes an ERROR payload.
+//
+//	u16 code | u16 msgLen | msg
+func AppendError(b []byte, e ErrorMsg) []byte {
+	msg := e.Msg
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	b = appendUint16(b, uint16(e.Code))
+	b = appendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// ParseError decodes an ERROR payload.
+func ParseError(payload []byte) (ErrorMsg, error) {
+	r := &reader{b: payload}
+	e := ErrorMsg{Code: ErrCode(r.u16())}
+	msgLen := int(r.u16())
+	msg := r.take(msgLen)
+	if err := r.err("ERROR"); err != nil {
+		return ErrorMsg{}, err
+	}
+	e.Msg = string(msg)
+	return e, nil
+}

@@ -134,6 +134,35 @@ type sessionConfig struct {
 	sink       io.WriteSeeker
 	statsEvery int
 	eventBuf   int
+	tap        func(Event) // synchronous observer, see withEventTap
+	onDone     func(error) // completion callback, see withRunDone
+}
+
+// withEventTap registers a synchronous event observer: fn runs on the
+// session goroutine for every event, before the event is offered to the
+// Events channel, so it sees the exact encode order with no buffering.
+// The ingest plane uses it to ack encoded frames back to the pushing
+// client. fn must be fast and must never block on the session itself.
+func withEventTap(fn func(Event)) SessionOption {
+	return func(c *sessionConfig) { c.tap = fn }
+}
+
+// withRunDone registers a completion callback invoked exactly once when
+// Run returns (with Run's error) or when the session is aborted without
+// running (with nil). The ingest plane uses it to finalise a wire feed:
+// archive the stream, flush trailing acks, and send the closing message.
+func withRunDone(fn func(error)) SessionOption {
+	return func(c *sessionConfig) { c.onDone = fn }
+}
+
+// gapSource is an optional FrameSource refinement for sources that can
+// lose frames mid-stream (the wire ingest queue under overload or
+// reconnect). TakeGap reports whether the frame most recently returned
+// by Next followed one or more lost frames, clearing the flag; the
+// session then forces the encoder to start a fresh GOP so the stored
+// stream never predicts across the hole.
+type gapSource interface {
+	TakeGap() bool
 }
 
 // WithName names the session's feed (defaults to the source's name).
@@ -309,7 +338,7 @@ func (s *Session) Stream() (*container.Reader, error) {
 // Run pulls frames from the source until io.EOF, encoding each and emitting
 // events, then finalises the stream index and emits a final EventStats. It
 // closes Events on return. Run may be called once.
-func (s *Session) Run(ctx context.Context) error {
+func (s *Session) Run(ctx context.Context) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -320,6 +349,9 @@ func (s *Session) Run(ctx context.Context) error {
 	}
 	s.ran = true
 	s.mu.Unlock()
+	if s.cfg.onDone != nil {
+		defer func() { s.cfg.onDone(err) }()
+	}
 	defer close(s.events)
 
 	// Register with the inference plane only while actually running: the
@@ -337,6 +369,7 @@ func (s *Session) Run(ctx context.Context) error {
 	// encoder hot path the per-frame loop stops allocating once ef.Data and
 	// the encoder's internal buffers reach steady-state capacity.
 	var ef EncodedFrame
+	gaps, _ := s.src.(gapSource)
 	for {
 		f, err := s.src.Next(ctx)
 		if errors.Is(err, io.EOF) {
@@ -344,6 +377,9 @@ func (s *Session) Run(ctx context.Context) error {
 		}
 		if err != nil {
 			return fmt.Errorf("sieve: session %s: source: %w", s.cfg.name, err)
+		}
+		if gaps != nil && gaps.TakeGap() {
+			s.enc.ForceNextI()
 		}
 		if err := s.enc.EncodeInto(f, &ef); err != nil {
 			return fmt.Errorf("sieve: session %s: %w", s.cfg.name, err)
@@ -415,6 +451,9 @@ func (s *Session) emit(ctx context.Context, ev Event) bool {
 	ev.Seq = s.seq
 	s.seq++
 	s.mu.Unlock()
+	if s.cfg.tap != nil {
+		s.cfg.tap(ev)
+	}
 	select {
 	case s.events <- ev:
 		return true
@@ -427,12 +466,16 @@ func (s *Session) emit(ctx context.Context, ev Event) bool {
 // feed skipped by cancellation). No-op if Run already started.
 func (s *Session) abort() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.ran {
+		s.mu.Unlock()
 		return
 	}
 	s.ran = true
 	close(s.events)
+	s.mu.Unlock()
+	if s.cfg.onDone != nil {
+		s.cfg.onDone(nil)
+	}
 }
 
 // EncodeStream is the batch entry point, now a thin wrapper over Session:

@@ -14,6 +14,11 @@
 //   - Detector: the YOLite reference NN, with Neurosurgeon-style
 //     edge/cloud partitioning.
 //   - Dataset: synthetic labelled surveillance feeds (Table I presets).
+//   - IngestListener / Pusher: the network ingest plane — cameras push
+//     raw frames over any net.Conn using the SVWP wire protocol
+//     (PROTOCOL.md) with reconnect-resume, admission control and
+//     overload shedding; the listener turns accepted connections into
+//     Hub or Cluster feeds.
 //
 // See examples/ for runnable end-to-end scenarios and DESIGN.md for the
 // system inventory.
@@ -114,6 +119,13 @@ func (e *SemanticEncoder) EncodeInto(f *Frame, ef *EncodedFrame) error {
 
 // Close finalises the stream index.
 func (e *SemanticEncoder) Close() error { return e.w.Close() }
+
+// ForceNextI makes the next encoded frame an I-frame regardless of the
+// GOP/scenecut decision. The network ingest plane calls this at stream
+// discontinuities (reconnect gaps, shed frames): a P-frame there would
+// predict from a reference the stored stream's decoder never saw. The
+// flag is consumed by the next encode and affects nothing else.
+func (e *SemanticEncoder) ForceNextI() { e.enc.ForceNextI() }
 
 // Params returns the encoder's normalised parameters.
 func (e *SemanticEncoder) Params() EncoderParams { return e.enc.Params() }

@@ -152,6 +152,18 @@ func (s *SynthSource) Next(ctx context.Context) (*Frame, error) {
 	return s.buf, nil
 }
 
+// Seek positions the source so the next Next returns frame i. Synthetic
+// frames are rendered on demand, so seeking in either direction is O(1).
+// Seeking to NumFrames() is valid and makes the next Next return io.EOF.
+// A Pusher resuming after a reconnect seeks to the server's ResumeFrom.
+func (s *SynthSource) Seek(i int) error {
+	if i < 0 || i > s.v.NumFrames() {
+		return fmt.Errorf("sieve: synth seek %d out of range [0,%d]", i, s.v.NumFrames())
+	}
+	s.i = i
+	return nil
+}
+
 // ReplayOption configures a ReplaySource.
 type ReplayOption func(*ReplaySource)
 
@@ -226,6 +238,47 @@ func (s *ReplaySource) Next(ctx context.Context) (*Frame, error) {
 	}
 	s.i++
 	return s.buf, nil
+}
+
+// Seek positions the replay so the next Next returns frame target.
+// P-frames predict from their predecessor, so seeking rolls the decoder
+// forward from the latest I-frame before target (without pacing sleeps);
+// seeking to an I-frame or to NumFrames() (end of stream) is O(1). A
+// Pusher resuming a replay feed after a reconnect seeks to the server's
+// ResumeFrom.
+func (s *ReplaySource) Seek(target int) error {
+	n := s.r.NumFrames()
+	if target < 0 || target > n {
+		return fmt.Errorf("sieve: replay seek %d out of range [0,%d]", target, n)
+	}
+	if target == n || target == 0 || s.r.Meta(target).Type == codec.FrameI {
+		s.i = target
+		return nil
+	}
+	// Find the latest I-frame at or before target-1, then decode forward
+	// so the decoder's reference is frame target-1.
+	start := 0
+	for _, m := range s.r.IFrames() {
+		if m.Index > target-1 {
+			break
+		}
+		start = m.Index
+	}
+	if s.buf == nil {
+		info := s.r.Info()
+		s.buf = frame.NewYUV(info.Width, info.Height)
+	}
+	for i := start; i < target; i++ {
+		payload, err := s.r.Payload(i)
+		if err != nil {
+			return err
+		}
+		if err := s.dec.DecodeInto(payload, s.buf); err != nil {
+			return fmt.Errorf("sieve: replay seek decoding frame %d: %w", i, err)
+		}
+	}
+	s.i = target
+	return nil
 }
 
 // ErrSourceClosed is returned by PushSource.Push after Close.

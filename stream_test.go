@@ -300,3 +300,117 @@ func TestSessionDoubleRunRejected(t *testing.T) {
 		t.Fatal("second Run accepted")
 	}
 }
+
+// TestSynthSourceSeek covers the O(1) seek a resuming Pusher relies on:
+// any position, either direction, NumFrames() as a valid end-of-stream
+// target.
+func TestSynthSourceSeek(t *testing.T) {
+	v := smallDataset(t)
+	src := NewSynthSource(v)
+	want := v.RenderInto(7, nil)
+	if err := src.Seek(7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := src.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("seeked frame differs from directly rendered frame 7")
+	}
+	// Backwards is just as cheap.
+	if err := src.Seek(2); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := src.Next(context.Background()); err != nil || !f.Equal(v.RenderInto(2, nil)) {
+		t.Fatalf("seek back to 2: err=%v", err)
+	}
+	// Seeking to NumFrames() positions at end of stream.
+	if err := src.Seek(v.NumFrames()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(context.Background()); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after end seek = %v, want io.EOF", err)
+	}
+	if err := src.Seek(v.NumFrames() + 1); err == nil {
+		t.Fatal("out-of-range seek accepted")
+	}
+}
+
+// TestReplaySourceSeek covers the decoder-aware seek: a P-frame target
+// rolls forward from the latest preceding I-frame, so the delivered
+// frame is byte-identical to a sequential decode.
+func TestReplaySourceSeek(t *testing.T) {
+	v := smallDataset(t)
+	var buf container.Buffer
+	if _, err := EncodeStream(context.Background(), NewSynthSource(v), &buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStream(&buf, buf.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a P-frame target so the seek really has to roll the decoder.
+	target := -1
+	for i := r.NumFrames() - 1; i > 0; i-- {
+		if r.Meta(i).Type == FrameP {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("stream has no P-frames to target")
+	}
+	seq, err := NewReplaySource(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *Frame
+	for i := 0; i <= target; i++ {
+		f, err := seq.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == target {
+			want = f.Clone()
+		}
+	}
+	skp, err := NewReplaySource(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := skp.Seek(target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := skp.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("seeked frame %d differs from sequential decode", target)
+	}
+	// And the stream continues normally past the seek target.
+	rest := 0
+	for {
+		if _, err := skp.Next(context.Background()); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			break
+		}
+		rest++
+	}
+	if want := r.NumFrames() - target - 1; rest != want {
+		t.Fatalf("frames after seek target = %d, want %d", rest, want)
+	}
+	// End-of-stream seek is valid; past it is not.
+	if err := skp.Seek(r.NumFrames()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skp.Next(context.Background()); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after end seek = %v, want io.EOF", err)
+	}
+	if err := skp.Seek(r.NumFrames() + 1); err == nil {
+		t.Fatal("out-of-range seek accepted")
+	}
+}
