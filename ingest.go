@@ -260,6 +260,7 @@ func (l *IngestListener) Close() error {
 	err := l.ln.Close()
 	l.mu.Lock()
 	conns := make([]net.Conn, 0, len(l.conns))
+	//sieve:unordered l.conns is a set; Close on distinct conns commutes
 	for c := range l.conns {
 		conns = append(conns, c)
 	}
@@ -419,6 +420,7 @@ func (l *IngestListener) handleConn(nc net.Conn) {
 		l.serveFrames(f, c)
 	default:
 		l.reject(c, wire.ErrCodeProtocol, "connection must open with HELLO or RESUME, got %s", t)
+		return
 	}
 }
 

@@ -1,0 +1,218 @@
+// Package analysis is a small, self-contained static-analysis kernel for
+// the repository's invariant-enforcing linters (cmd/sievelint). It mirrors
+// the shape of golang.org/x/tools/go/analysis — an Analyzer with a Run
+// function over a Pass carrying the parsed files and type information —
+// but is built entirely on the standard library's go/ast, go/parser and
+// go/types, so it works in hermetic environments with no module downloads.
+//
+// The kernel exists because the repo's three load-bearing invariants —
+// byte-identical determinism under VirtualClock, zero-allocation
+// steady-state hot paths, and SVWP wire-spec fidelity — were previously
+// enforced only dynamically (golden-SHA fixtures, AllocsPerRun==0 tests,
+// spec_test.go). The analyzers in the subpackages make the same invariants
+// statically checkable on every build:
+//
+//   - detclock:       no wall-clock or global-rand reads in deterministic
+//     packages (escape hatch: //sieve:wallclock with a justification)
+//   - detmap:         no order-sensitive iteration over maps (escape
+//     hatch: //sieve:unordered)
+//   - noalloc:        functions annotated //sieve:noalloc contain no
+//     direct allocation constructs (escape hatch: //sieve:allowalloc on
+//     a one-time growth line)
+//   - wireexhaustive: switches over wire enums cover every exported
+//     constant or fail closed in default
+//   - sentinel:       sentinel errors are matched with errors.Is, never ==
+//
+// Directives are ordinary line comments of the form
+//
+//	//sieve:NAME optional justification text
+//
+// placed on the flagged line, the line above it, or (for function-scoped
+// directives like //sieve:noalloc) in the function's doc comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only selections.
+	Name string
+	// Doc is a one-paragraph description (first line is the summary).
+	Doc string
+	// Run performs the analysis over one package and reports findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one package's syntax and types to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int][]string // filename -> line -> directive names
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes a on pkg and returns the diagnostics sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.scanDirectives()
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// scanDirectives indexes every //sieve:NAME comment by file and line.
+func (p *Pass) scanDirectives() {
+	p.directives = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+}
+
+// parseDirective extracts NAME from a "//sieve:NAME justification" comment.
+func parseDirective(text string) (string, bool) {
+	const prefix = "//sieve:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// HasDirective reports whether directive name is present on pos's line or
+// the line immediately above it.
+func (p *Pass) HasDirective(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, n := range byLine[position.Line] {
+		if n == name {
+			return true
+		}
+	}
+	for _, n := range byLine[position.Line-1] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether fd's doc comment carries the directive.
+func (p *Pass) FuncHasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if n, ok := parseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgFunc resolves a call to a package-level function of pkgPath and
+// returns its name ("" if the call is anything else: method, builtin,
+// conversion, local function, other package).
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// BasePath renders the "base path" of an lvalue-ish expression for
+// identity comparisons: selectors keep their chain, index/slice/paren
+// wrappers are stripped, everything else renders as "". It answers "is
+// append(x[:0], ...) being assigned back into x" style questions.
+func BasePath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := BasePath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return BasePath(e.X)
+	case *ast.IndexExpr:
+		return BasePath(e.X)
+	case *ast.SliceExpr:
+		return BasePath(e.X)
+	}
+	return ""
+}
+
+// ErrorType is the universe error interface.
+var ErrorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// ImplementsError reports whether t satisfies the error interface.
+func ImplementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, ErrorType) || types.Implements(types.NewPointer(t), ErrorType)
+}

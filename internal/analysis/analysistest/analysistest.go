@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against inline expectations, mirroring the
+// convention of golang.org/x/tools/go/analysis/analysistest: a fixture
+// line that should be flagged carries a comment
+//
+//	// want "regexp"
+//
+// and the test fails on any unmatched expectation (the analyzer went
+// silently green) or unexpected diagnostic (a false positive). Each
+// analyzer package keeps its fixtures under testdata/src/<name>/, with
+// both passing and seeded-violation files, so a broken analyzer fails its
+// own tests.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sieve/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the fixture package in dir (relative to the test's working
+// directory) and diffs diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fixture/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := parseWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := match(wants, pos, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// match finds the first unmatched expectation for pos whose regexp matches
+// msg, marks it matched, and returns it.
+func match(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || w.file != pos.Filename {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants scans every fixture file for // want comments.
+func parseWants(dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pattern := strings.ReplaceAll(m[1], `\"`, `"`)
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %w", path, i+1, err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,12 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/detclock"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detclock", detclock.Analyzer)
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// measure times work against the wall clock: every call is a determinism
+// leak and must be flagged.
+func measure() time.Duration {
+	start := time.Now()      // want "time\.Now in a deterministic package"
+	return time.Since(start) // want "time\.Since in a deterministic package"
+}
+
+func timers() {
+	_ = time.NewTimer(time.Second)  // want "time\.NewTimer in a deterministic package"
+	_ = time.NewTicker(time.Second) // want "time\.NewTicker in a deterministic package"
+	_ = time.After(time.Second)     // want "time\.After in a deterministic package"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time\.Sleep in a deterministic package"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "math/rand\.Intn in a deterministic package"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand\.Shuffle in a deterministic package"
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected abstraction; reading time through it is the
+// sanctioned pattern.
+type Clock interface {
+	Now() time.Time
+}
+
+func viaClock(c Clock) time.Time {
+	return c.Now()
+}
+
+// seeded builds a private rand source — constructors are legal, only the
+// global-source top-level functions are banned.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// banner is wall-clock on purpose: its doc directive excuses the whole
+// function body.
+//
+//sieve:wallclock startup banner only, never in the deterministic window
+func banner() time.Time {
+	return time.Now()
+}
+
+func lineAbove() time.Time {
+	//sieve:wallclock reporting timestamp outside the event path
+	return time.Now()
+}
+
+func sameLine() time.Time {
+	return time.Now() //sieve:wallclock reporting only
+}

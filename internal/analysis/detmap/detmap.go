@@ -1,0 +1,187 @@
+// Package detmap flags order-sensitive iteration over Go maps — the
+// classic silent nondeterminism that would break the repo's byte-equality
+// invariants (merged ResultsDB JSON, event logs, golden bitstreams).
+//
+// Ranging over a map is fine when the body is order-insensitive (counting,
+// inserting into another map, summing). It is a determinism bug when the
+// iteration order leaks into an ordered artifact. The analyzer flags a
+// `for ... range m` over a map whose body
+//
+//   - appends to a slice declared outside the loop (ordered accumulation),
+//   - sends on a channel (ordered emission), or
+//   - calls an emitting/serialising sink (Write*/Print*/Fprint*/Encode*/
+//     Marshal*/Emit*/Send*/Push*/Publish*).
+//
+// The sanctioned fix is the sorted-keys pattern: collect the keys, sort,
+// range the slice. A key-collection loop (append of the range key into a
+// slice that the same function later passes to sort.* or slices.Sort*) is
+// recognised and allowed. A genuinely order-insensitive body that trips
+// the heuristic carries //sieve:unordered with a justification.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sieve/internal/analysis"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flag order-sensitive iteration over maps (sort keys first)",
+	Run:  run,
+}
+
+// Directive is the escape-hatch directive name.
+const Directive = "unordered"
+
+// sinkPrefixes name call targets that emit or serialise — order-sensitive
+// by construction.
+var sinkPrefixes = []string{
+	"Write", "Print", "Fprint", "Encode", "Marshal", "Emit", "Send", "Push", "Publish",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				fn = fd
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.HasDirective(rng.Pos(), Directive) {
+				return true
+			}
+			if fn != nil && fn.Body != nil && fn.Body.Pos() <= rng.Pos() && rng.Pos() < fn.Body.End() &&
+				pass.FuncHasDirective(fn, Directive) {
+				return true
+			}
+			checkBody(pass, fn, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody scans one map-range body for order-sensitive operations.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: iteration order is random; range sorted keys instead")
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && isSink(name) {
+				pass.Reportf(n.Pos(), "call to %s inside range over map: emission order is random; range sorted keys instead", name)
+				return true
+			}
+			if len(n.Args) == 0 {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && pass.TypesInfo.Types[n.Fun].IsBuiltin() {
+				dst := n.Args[0]
+				if declaredOutside(pass, dst, rng) && !sortedLater(pass, fn, dst) {
+					pass.Reportf(n.Pos(),
+						"append to %s inside range over map: element order is random; sort the keys (or the result) first",
+						analysis.BasePath(dst))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isSink reports whether a callee name matches an emitting prefix.
+func isSink(name string) bool {
+	for _, p := range sinkPrefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredOutside reports whether e's base object was declared outside the
+// range statement (appending to a loop-local slice is order-local and
+// fine).
+func declaredOutside(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := baseObject(pass, e)
+	if obj == nil {
+		// Selector chains on receivers etc.: conservatively outside.
+		return analysis.BasePath(e) != ""
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// baseObject resolves the root identifier's object.
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedLater reports whether the enclosing function passes dst's base to
+// a sort.*/slices.Sort* call — the sanctioned collect-then-sort pattern.
+func sortedLater(pass *analysis.Pass, fn *ast.FuncDecl, dst ast.Expr) bool {
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	base := analysis.BasePath(dst)
+	if base == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sortName := pass.PkgFunc(call, "sort")
+		slicesName := pass.PkgFunc(call, "slices")
+		if sortName == "" && slicesName == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.BasePath(arg) == base {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detmap", detmap.Analyzer)
+}

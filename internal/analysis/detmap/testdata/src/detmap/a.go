@@ -1,0 +1,40 @@
+package fixture
+
+// flatten leaks map iteration order into the returned slice: classic
+// nondeterministic accumulation.
+func flatten(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+// emit leaks iteration order into a channel.
+func emit(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+type rowSink struct{}
+
+func (rowSink) WriteRow(string) {}
+
+// write leaks iteration order into an emitting sink.
+func write(m map[string]int, s rowSink) {
+	for k := range m {
+		s.WriteRow(k) // want "call to WriteRow inside range over map"
+	}
+}
+
+// fieldAppend accumulates into a receiver field: still ordered output.
+type collector struct {
+	rows []string
+}
+
+func (c *collector) drain(m map[string]int) {
+	for k := range m {
+		c.rows = append(c.rows, k) // want "append to c.rows inside range over map"
+	}
+}

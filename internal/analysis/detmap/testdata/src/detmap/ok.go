@@ -1,0 +1,54 @@
+package fixture
+
+import "sort"
+
+// sortedKeys is the sanctioned collect-then-sort pattern: the appended
+// slice is passed to sort.Strings in the same function.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// count is order-insensitive: nothing ordered leaves the loop.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes into another map: order-insensitive by construction.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// localCollect appends to a slice declared inside the loop body, which
+// cannot observe cross-iteration order.
+func localCollect(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var widened []int
+		widened = append(widened, vs...)
+		total += len(widened)
+	}
+	return total
+}
+
+// fanOut is genuinely order-insensitive (the consumer sums), so it carries
+// the escape directive.
+//
+//sieve:unordered consumer reduces with +, order irrelevant
+func fanOut(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("sieve/internal/wire").
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module plus their
+// standard-library imports, entirely offline: module packages resolve to
+// directories under the module root by import-path suffix, and the
+// standard library is type-checked from GOROOT source via go/importer's
+// "source" importer. The loader memoises packages, so loading "./..."
+// type-checks each package exactly once.
+//
+// The loader deliberately skips _test.go files: the analyzers guard
+// production invariants, and test files legitimately use wall clocks,
+// allocation and sentinel equality in their harnesses.
+type Loader struct {
+	ModRoot string // module root directory (contains go.mod)
+	ModPath string // module path from go.mod
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+	ctxt build.Context
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot, modPath string) *Loader {
+	// The "source" stdlib importer reads build.Default. Force cgo off so
+	// packages like net select their pure-Go variants, which go/types can
+	// check from source without running cgo.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		ctxt:    ctxt,
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns a
+// loader for that module.
+func FindModule(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return nil, fmt.Errorf("analysis: no module line in %s/go.mod", d)
+			}
+			return NewLoader(d, path), nil
+		}
+		if filepath.Dir(d) == d {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module paths load from the module
+// tree, everything else delegates to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.loadModulePkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// loadModulePkg loads (or returns the memoised) package at a module
+// import path.
+func (l *Loader) loadModulePkg(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	p, err := l.LoadDir(l.dirFor(path), path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Test files are excluded; build constraints are honoured
+// with cgo disabled.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load resolves patterns to packages. Supported patterns: "./..." (every
+// package under the module root), a relative directory ("./internal/wire"),
+// or a module import path ("sieve/internal/wire").
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		case pat == l.ModPath || strings.HasPrefix(pat, l.ModPath+"/"):
+			add(pat)
+		default:
+			rel, err := filepath.Rel(l.ModRoot, filepath.Join(l.ModRoot, pat))
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("analysis: pattern %q is outside the module", pat)
+			}
+			if rel == "." {
+				add(l.ModPath)
+			} else {
+				add(l.ModPath + "/" + filepath.ToSlash(rel))
+			}
+		}
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.loadModulePkg(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleDirs enumerates every import path under the module root that
+// contains non-test Go files, in sorted order.
+func (l *Loader) moduleDirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		bp, err := l.ctxt.ImportDir(path, 0)
+		if err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				return nil
+			}
+			return err
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModRoot, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.ModPath)
+		} else {
+			out = append(out, l.ModPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

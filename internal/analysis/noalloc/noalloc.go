@@ -1,0 +1,504 @@
+// Package noalloc statically checks the zero-allocation contract of
+// functions annotated //sieve:noalloc — the EncodeInto/DecodeInto/
+// ForwardBatch/DetectBatch/plane-round-trip family whose steady state is
+// pinned to 0 allocs/op by AllocsPerRun tests. The dynamic tests catch a
+// regression only on the inputs they run; this analyzer catches the
+// construct itself at build time.
+//
+// Inside an annotated function's hot path the analyzer flags direct
+// allocation constructs:
+//
+//   - make(...) and new(...)
+//   - append whose destination is not the reuse idiom
+//     `x = append(x[...:...], ...)` (growing into a fresh variable)
+//   - slice and map composite literals, and &T{...}
+//   - function literals that capture enclosing variables (closure alloc)
+//   - conversions of non-pointer-shaped concrete values to interface
+//     types (boxing), including implicit ones at call arguments,
+//     assignments and returns
+//
+// Error paths are cold by definition — steady state means no errors — so
+// any block whose final statement returns a non-nil error or panics is
+// skipped. A justified one-time growth line (an amortised buffer reaching
+// capacity) carries //sieve:allowalloc with a reason.
+//
+// The check is intraprocedural: callees are not traced (the AllocsPerRun
+// tests own composition). Annotate the leaves of the hot path, not just
+// the entry point.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sieve/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation constructs inside //sieve:noalloc functions",
+	Run:  run,
+}
+
+// Directive marks a function as allocation-free; AllowDirective excuses a
+// single justified line inside one.
+const (
+	Directive      = "noalloc"
+	AllowDirective = "allowalloc"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.FuncHasDirective(fd, Directive) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fd}
+			c.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+// checker walks one annotated function, skipping cold (error-returning)
+// blocks.
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+// block checks every statement of a block, descending into control flow.
+func (c *checker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+// stmt dispatches one statement.
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		if !coldBlock(c.pass, c.fn, s.Body) {
+			c.block(s.Body)
+		}
+		if s.Else != nil {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok && coldBlock(c.pass, c.fn, eb) {
+				return
+			}
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.block(s.Body)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CaseClause)
+			if coldStmts(c.pass, c.fn, cc.Body) {
+				continue
+			}
+			for _, st := range cc.Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.GoStmt, *ast.DeferStmt:
+		// Goroutines, defers, selects and type switches have no place in a
+		// zero-alloc hot path at all.
+		c.pass.Reportf(s.Pos(), "%s in a //sieve:noalloc function", stmtName(s))
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r)
+		}
+		c.boxingInReturn(s)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+					c.boxingInDecl(vs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// stmtName names a banned statement kind for the diagnostic.
+func stmtName(s ast.Stmt) string {
+	switch s.(type) {
+	case *ast.GoStmt:
+		return "goroutine launch"
+	case *ast.DeferStmt:
+		return "defer (allocates a frame)"
+	case *ast.SelectStmt:
+		return "select"
+	default:
+		return "type switch"
+	}
+}
+
+// assign checks an assignment for non-reuse appends and interface boxing.
+func (c *checker) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		c.expr(r)
+	}
+	// Interface boxing: concrete non-pointer RHS assigned to interface LHS.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			c.boxing(s.Rhs[i], c.pass.TypesInfo.TypeOf(s.Lhs[i]))
+		}
+	}
+}
+
+// expr checks one expression tree.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.FuncLit:
+			if obj := c.capturedVar(n); obj != "" {
+				c.report(n.Pos(), "closure captures %s and allocates", obj)
+			}
+			return false // the closure body is not this function's hot path
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call checks builtin allocators, non-reuse appends, boxing at call
+// arguments, and allocating conversions.
+func (c *checker) call(call *ast.CallExpr) {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && c.pass.TypesInfo.Types[call.Fun].IsBuiltin() {
+		switch id.Name {
+		case "make":
+			c.report(call.Pos(), "make allocates")
+		case "new":
+			c.report(call.Pos(), "new allocates")
+		case "append":
+			c.appendCall(call)
+		}
+		return
+	}
+	c.boxingInArgs(call)
+}
+
+// appendCall allows only the reuse idiom x = append(x[...], ...). Anything
+// else can grow a fresh backing array every call.
+func (c *checker) appendCall(call *ast.CallExpr) {
+	dst := analysis.BasePath(call.Args[0])
+	if dst != "" && c.assignedTo(call) == dst {
+		return
+	}
+	c.report(call.Pos(), "append result does not flow back into its own base (%q): growth allocates", dst)
+}
+
+// assignedTo returns the base path of the variable this call's result is
+// assigned to ("" if the call is not the direct RHS of an assignment).
+func (c *checker) assignedTo(call *ast.CallExpr) string {
+	path := c.enclosingAssign(call)
+	if path == "" {
+		return ""
+	}
+	return path
+}
+
+// enclosingAssign finds `lhs = thisCall` in the annotated function.
+func (c *checker) enclosingAssign(call *ast.CallExpr) string {
+	var out string
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if ast.Unparen(r) == call {
+				out = analysis.BasePath(as.Lhs[i])
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// composite flags slice and map literals (array and plain struct values
+// live on the stack).
+func (c *checker) composite(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	}
+}
+
+// conversion flags T(x) conversions that allocate: interface boxing and
+// string<->[]byte/[]rune copies.
+func (c *checker) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && boxes(from) {
+		c.report(call.Pos(), "conversion to interface boxes %s", from)
+		return
+	}
+	toB, fromB := to.Underlying(), from.Underlying()
+	if isString(toB) && isByteOrRuneSlice(fromB) || isString(fromB) && isByteOrRuneSlice(toB) {
+		c.report(call.Pos(), "string/slice conversion copies")
+	}
+}
+
+// boxingInArgs flags concrete non-pointer arguments passed to interface
+// parameters.
+func (c *checker) boxingInArgs(call *ast.CallExpr) {
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.boxing(arg, pt)
+	}
+}
+
+// boxingInReturn flags concrete values returned as interface results.
+func (c *checker) boxingInReturn(ret *ast.ReturnStmt) {
+	results := c.fn.Type.Results
+	if results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, fld := range results.List {
+		t := c.pass.TypesInfo.TypeOf(fld.Type)
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return
+	}
+	for i, r := range ret.Results {
+		c.boxing(r, resultTypes[i])
+	}
+}
+
+// boxingInDecl flags var declarations with explicit interface type and
+// concrete initialisers.
+func (c *checker) boxingInDecl(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		c.boxing(v, t)
+	}
+}
+
+// boxing reports expr if storing it into target type boxes a non-pointer
+// value.
+func (c *checker) boxing(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	if !boxes(tv.Type) {
+		return
+	}
+	c.report(expr.Pos(), "%s boxed into interface %s allocates", tv.Type, target)
+}
+
+// boxes reports whether values of t need a heap box when stored in an
+// interface (pointer-shaped kinds fit the interface word directly).
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from its enclosing function ("" if it captures nothing). A
+// capturing closure needs a heap-allocated environment; a capture-free one
+// is a static function value.
+func (c *checker) capturedVar(lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal. Package-level vars and the literal's own params/locals
+		// don't count.
+		if obj.Parent() == nil || obj.Parent() == c.pass.Pkg.Scope() || obj.Parent() == types.Universe {
+			return true
+		}
+		if obj.Pos() >= c.fn.Pos() && obj.Pos() < lit.Pos() {
+			captured = obj.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// report emits unless the line carries //sieve:allowalloc.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.HasDirective(pos, AllowDirective) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// isString reports a string underlying type.
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports []byte / []rune underlying types.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// coldBlock reports whether a block is an error path: its last statement
+// returns a non-nil error (given the function returns one) or panics.
+func coldBlock(pass *analysis.Pass, fn *ast.FuncDecl, b *ast.BlockStmt) bool {
+	return coldStmts(pass, fn, b.List)
+}
+
+func coldStmts(pass *analysis.Pass, fn *ast.FuncDecl, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return returnsError(pass, fn, last)
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsError reports whether ret's final result is a non-nil error
+// value on a function whose last result is error-typed.
+func returnsError(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	results := fn.Type.Results
+	if results == nil || len(results.List) == 0 || len(ret.Results) == 0 {
+		return false
+	}
+	lastField := results.List[len(results.List)-1]
+	t := pass.TypesInfo.TypeOf(lastField.Type)
+	if t == nil || !analysis.ImplementsError(t) {
+		return false
+	}
+	lastExpr := ret.Results[len(ret.Results)-1]
+	if tv, ok := pass.TypesInfo.Types[lastExpr]; ok && tv.IsNil() {
+		return false
+	}
+	return true
+}

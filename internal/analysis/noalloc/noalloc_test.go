@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/noalloc", noalloc.Analyzer)
+}

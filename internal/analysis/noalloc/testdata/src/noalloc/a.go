@@ -1,0 +1,66 @@
+package fixture
+
+type point struct{ x, y int }
+
+// bad collects the directly-banned allocator constructs.
+//
+//sieve:noalloc
+func bad(buf []byte) []byte {
+	tmp := make([]byte, 16)      // want "make allocates"
+	_ = new(int)                 // want "new allocates"
+	grown := append(buf, tmp...) // want "append result does not flow back into its own base"
+	return grown
+}
+
+// literals: slice and map composites allocate, &composite escapes.
+//
+//sieve:noalloc
+func literals() {
+	_ = []int{1, 2, 3}         // want "slice literal allocates"
+	_ = map[string]int{"a": 1} // want "map literal allocates"
+	_ = &point{1, 2}           // want "&composite literal escapes to the heap"
+}
+
+// closure captures a local and needs a heap environment.
+//
+//sieve:noalloc
+func closure(n int) func() int {
+	f := func() int { return n } // want "closure captures n and allocates"
+	return f
+}
+
+// boxed returns a concrete int through an interface result.
+//
+//sieve:noalloc
+func boxed(v int) any {
+	return v // want "int boxed into interface"
+}
+
+// boxedArg passes a concrete struct to an interface parameter.
+func sinkAny(any) {}
+
+//sieve:noalloc
+func boxedArg(p point) {
+	sinkAny(p) // want "fixture/noalloc\.point boxed into interface"
+}
+
+// converted copies between string and []byte.
+//
+//sieve:noalloc
+func converted(b []byte) string {
+	return string(b) // want "string/slice conversion copies"
+}
+
+// control: goroutines, defers, selects and type switches are banned
+// outright in a zero-alloc hot path.
+//
+//sieve:noalloc
+func spawn(done chan struct{}) {
+	go close(done) // want "goroutine launch in a //sieve:noalloc function"
+}
+
+//sieve:noalloc
+func cleanup(f func()) {
+	defer f() // want "defer \(allocates a frame\) in a //sieve:noalloc function"
+	f()
+}

@@ -1,0 +1,68 @@
+package fixture
+
+import "fmt"
+
+// reuse is the sanctioned append idiom: the result flows back into its own
+// base, so steady state never grows.
+//
+//sieve:noalloc
+func reuse(dst, src []byte) []byte {
+	dst = append(dst[:0], src...)
+	return dst
+}
+
+// coldError allocates only on its error path; the block whose last
+// statement returns a non-nil error is cold and skipped.
+//
+//sieve:noalloc
+func coldError(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("reuse: empty source (%d bytes)", len(src))
+	}
+	dst = append(dst[:0], src...)
+	return dst, nil
+}
+
+// coldPanic: a panicking guard block is likewise cold.
+//
+//sieve:noalloc
+func coldPanic(dst, src []byte) []byte {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("reuse: dst too short: %d < %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	return dst[:len(src)]
+}
+
+// grow carries a justified one-time growth line.
+//
+//sieve:noalloc
+func grow(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n) //sieve:allowalloc amortised growth to high-water mark
+	}
+	return dst[:n]
+}
+
+// arrays are values: array literals and fixed-size locals stay on the
+// stack.
+//
+//sieve:noalloc
+func arrays() [4]int {
+	var a [4]int
+	a = [4]int{1, 2, 3, 4}
+	return a
+}
+
+// pointerShaped values fit the interface word directly: no box.
+//
+//sieve:noalloc
+func pointerShaped(p *point) any {
+	return p
+}
+
+// notAnnotated allocates freely — the checker runs only on annotated
+// functions.
+func notAnnotated(n int) []byte {
+	return make([]byte, n)
+}

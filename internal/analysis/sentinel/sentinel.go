@@ -1,0 +1,106 @@
+// Package sentinel flags == / != comparisons against exported sentinel
+// errors (ErrStarted, ErrNoFeeds, codec.ErrCorrupt, store quota errors,
+// io.EOF, ...). The repo's public API documents that lifecycle errors are
+// wrapped with context ("sieve: hub: feed x: ..."), so identity comparison
+// silently stops matching the moment a call site adds %w context —
+// errors.Is is the only future-proof match.
+//
+// A comparison is flagged when one operand is a use of an exported
+// package-level variable whose type implements error and the other
+// operand is error-typed. Comparisons with nil are untouched.
+package sentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sieve/internal/analysis"
+)
+
+// Analyzer is the sentinel pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinel",
+	Doc:  "compare sentinel errors with errors.Is, not == / !=",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			var name string
+			switch {
+			case isSentinelUse(pass, be.Y) && isErrorTyped(pass, be.X):
+				name = sentinelName(be.Y)
+			case isSentinelUse(pass, be.X) && isErrorTyped(pass, be.Y):
+				name = sentinelName(be.X)
+			default:
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"comparison with sentinel error %s breaks once the error is wrapped: use errors.Is", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSentinelUse reports whether e is a use of an exported package-level
+// error variable.
+func isSentinelUse(pass *analysis.Pass, e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !v.Exported() {
+		return false
+	}
+	// Package-level: parent scope is a package scope.
+	if v.Parent() == nil || v.Parent().Parent() != types.Universe {
+		return false
+	}
+	return analysis.ImplementsError(v.Type())
+}
+
+// rootIdent unwraps pkg.Err selectors to the error identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// sentinelName renders the compared sentinel for the message.
+func sentinelName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "error"
+}
+
+// isErrorTyped reports whether the other operand is an error (so we skip
+// comparisons of non-error values that merely share a variable).
+func isErrorTyped(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsNil() {
+		return false
+	}
+	return analysis.ImplementsError(t)
+}

@@ -1,0 +1,12 @@
+package sentinel_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/sentinel"
+)
+
+func TestSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sentinel", sentinel.Analyzer)
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCorrupt mirrors the repo's exported sentinels (codec.ErrCorrupt,
+// sieve.ErrStarted, ...).
+var ErrCorrupt = errors.New("fixture: corrupt payload")
+
+func localSentinel(err error) bool {
+	return err == ErrCorrupt // want "comparison with sentinel error ErrCorrupt"
+}
+
+func importedSentinel(err error) bool {
+	if err != io.EOF { // want "comparison with sentinel error io\.EOF"
+		return true
+	}
+	return false
+}
+
+func flipped(err error) bool {
+	return ErrCorrupt == err // want "comparison with sentinel error ErrCorrupt"
+}
+
+func inCondition(err error) string {
+	if err == io.ErrUnexpectedEOF { // want "comparison with sentinel error io\.ErrUnexpectedEOF"
+		return "short read"
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+package fixture
+
+import "errors"
+
+// errInternal is unexported: nothing outside the package can wrap it, so
+// identity comparison inside the package is legal.
+var errInternal = errors.New("fixture: internal state")
+
+func good(err error) bool {
+	if err == nil { // nil checks are untouched
+		return false
+	}
+	return errors.Is(err, ErrCorrupt) // the sanctioned match
+}
+
+func unexportedIdentity(err error) bool {
+	return err == errInternal
+}
+
+// Limit is an exported package-level var that is NOT an error: comparisons
+// against it are out of scope.
+var Limit = 42
+
+func nonError(n int) bool {
+	return n == Limit
+}

@@ -1,0 +1,51 @@
+package fixture
+
+// MsgType mirrors the wire enum shape; matching is by type name, so the
+// fixture needs no import of internal/wire.
+type MsgType uint8
+
+const (
+	MsgHello MsgType = 0x01
+	MsgData  MsgType = 0x02
+	MsgClose MsgType = 0x03
+)
+
+// incomplete misses MsgClose with no default at all: a future or corrupt
+// code falls through silently.
+func incomplete(t MsgType) string {
+	switch t { // want "switch on MsgType misses MsgClose and has no default"
+	case MsgHello:
+		return "hello"
+	case MsgData:
+		return "data"
+	}
+	return ""
+}
+
+// openDefault misses MsgClose and its default neither returns nor panics:
+// the unknown code is absorbed.
+func openDefault(t MsgType) string {
+	s := ""
+	switch t {
+	case MsgHello:
+		s = "hello"
+	case MsgData:
+		s = "data"
+	default: // want "switch on MsgType misses MsgClose and its default does not fail closed"
+		s = "other"
+	}
+	return s
+}
+
+// breakDefault: a bare break is exactly a silent fallthrough, not failing
+// closed.
+func breakDefault(t MsgType) string {
+	s := ""
+	switch t {
+	case MsgHello:
+		s = "hello"
+	default: // want "misses MsgClose, MsgData and its default does not fail closed"
+		break
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package fixture
+
+import "fmt"
+
+// ErrCode is a second enforced enum shape.
+type ErrCode uint16
+
+const (
+	ErrCodeVersion ErrCode = 1
+	ErrCodeQuota   ErrCode = 2
+)
+
+// full covers every constant: no default needed.
+func full(t MsgType) string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgData:
+		return "data"
+	case MsgClose:
+		return "close"
+	}
+	return ""
+}
+
+// failClosedReturn misses constants but its default returns an error:
+// unknown codes cannot fall through.
+func failClosedReturn(t MsgType) (string, error) {
+	switch t {
+	case MsgHello:
+		return "hello", nil
+	default:
+		return "", fmt.Errorf("unknown message type 0x%02x", uint8(t))
+	}
+}
+
+// failClosedPanic: a panicking default also fails closed.
+func failClosedPanic(c ErrCode) string {
+	switch c {
+	case ErrCodeVersion:
+		return "version"
+	default:
+		panic(fmt.Sprintf("unhandled error code %d", c))
+	}
+}
+
+// aliasCovered: coverage is compared by constant VALUE, so an alias
+// constant counts for its canonical name.
+const MsgFirst = MsgHello
+
+func aliasCovered(t MsgType) string {
+	switch t {
+	case MsgFirst:
+		return "hello"
+	case MsgData:
+		return "data"
+	case MsgClose:
+		return "close"
+	}
+	return ""
+}
+
+// Mode is not an enforced type name: switches over it are out of scope.
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+)
+
+func modes(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	}
+	return ""
+}

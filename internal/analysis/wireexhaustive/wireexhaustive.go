@@ -1,0 +1,167 @@
+// Package wireexhaustive enforces exhaustiveness on switches over the
+// SVWP wire enums — wire.MsgType, wire.ErrCode, wire.DrainCode,
+// wire.CloseReason — plus codec.FrameType, complementing spec_test.go
+// (which pins the constant VALUES against PROTOCOL.md; this analyzer pins
+// the HANDLING of every constant).
+//
+// A switch over one of these types must either
+//
+//   - cover every exported constant of the type (compared by constant
+//     value, so aliases count), or
+//   - carry a default clause that fails closed: one containing a return
+//     or panic, so an unlisted (future or corrupt) code can never fall
+//     through silently.
+//
+// Matching is by type name, so the analysistest fixtures can define their
+// own MsgType without importing internal/wire.
+package wireexhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sieve/internal/analysis"
+)
+
+// Analyzer is the wireexhaustive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "switches over wire enums must cover all constants or fail closed in default",
+	Run:  run,
+}
+
+// EnumTypeNames are the named types the analyzer enforces.
+var EnumTypeNames = map[string]bool{
+	"MsgType":     true,
+	"ErrCode":     true,
+	"DrainCode":   true,
+	"CloseReason": true,
+	"FrameType":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(sw.Tag)
+			named := enumType(t)
+			if named == nil {
+				return true
+			}
+			check(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumType returns t as an enforced named enum type, or nil.
+func enumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if !EnumTypeNames[named.Obj().Name()] {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return nil
+	}
+	return named
+}
+
+// check verifies one switch statement.
+func check(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	consts := enumConstants(named)
+	if len(consts) == 0 {
+		return
+	}
+	covered := make(map[string]bool, len(consts))
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(),
+			"switch on %s misses %s and has no default: cover every constant or add an error-returning default",
+			named.Obj().Name(), strings.Join(missing, ", "))
+		return
+	}
+	if !failsClosed(defaultClause.Body) {
+		pass.Reportf(defaultClause.Pos(),
+			"switch on %s misses %s and its default does not fail closed (no return or panic)",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants lists the exported constants of exactly type named,
+// declared in its defining package.
+func enumConstants(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// failsClosed reports whether the default body contains a return or panic
+// anywhere (covering "send error then return" shapes).
+func failsClosed(body []ast.Stmt) bool {
+	found := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/wireexhaustive"
+)
+
+func TestWireexhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wireexhaustive", wireexhaustive.Analyzer)
+}

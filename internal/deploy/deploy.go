@@ -10,6 +10,7 @@ package deploy
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"sieve/internal/dataflow"
@@ -161,9 +162,14 @@ func (o *Orchestrator) Run(ctx context.Context) error {
 	}
 	o.started = true
 	o.runCtx = ctx
-	sites := make([]*Site, 0, len(o.sites))
-	for _, s := range o.sites {
-		sites = append(sites, s)
+	names := make([]string, 0, len(o.sites))
+	for name := range o.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sites := make([]*Site, 0, len(names))
+	for _, name := range names {
+		sites = append(sites, o.sites[name])
 	}
 	bridges := o.bridges
 	o.mu.Unlock()

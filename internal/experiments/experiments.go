@@ -46,6 +46,10 @@ type Opts struct {
 	// experiment collects its results index-stably, so reports and
 	// renderings are identical at any setting.
 	Parallel int
+	// Clock is the time source behind Table3's speed measurements
+	// (nil = the wall clock). Tests inject a fixed-step clock so the
+	// measurement loops are deterministic and instant.
+	Clock pipeline.Clock
 }
 
 func (o *Opts) fill() {
@@ -57,6 +61,9 @@ func (o *Opts) fill() {
 	}
 	if o.FPS <= 0 {
 		o.FPS = 10
+	}
+	if o.Clock == nil {
+		o.Clock = pipeline.WallClock()
 	}
 }
 
@@ -483,13 +490,14 @@ func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 		row, r, nFrames := s.row, s.reader, s.nFrames
 
 		// SiEVE: metadata scan rate.
-		start := time.Now()
+		clk := opts.Clock
+		start := clk.Now()
 		rounds := 0
-		for time.Since(start) < 5*time.Millisecond {
+		for clk.Now().Sub(start) < 5*time.Millisecond {
 			r.ScanMeta(func(container.FrameMeta) bool { return true })
 			rounds++
 		}
-		perFrame := time.Since(start) / time.Duration(rounds*nFrames)
+		perFrame := clk.Now().Sub(start) / time.Duration(rounds*nFrames)
 		if perFrame <= 0 {
 			perFrame = time.Nanosecond
 		}
@@ -504,7 +512,7 @@ func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 		}
 		img := frame.NewYUV(r.Info().Width, r.Info().Height)
 		mse := vision.NewMSE()
-		start = time.Now()
+		start = clk.Now()
 		for i := 0; i < nFrames; i++ {
 			payload, err := r.Payload(i)
 			if err != nil {
@@ -515,7 +523,7 @@ func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 			}
 			mse.Score(img)
 		}
-		row.MSEFPS = float64(nFrames) / time.Since(start).Seconds()
+		row.MSEFPS = float64(nFrames) / clk.Now().Sub(start).Seconds()
 
 		// SIFT: decode + keypoints + matching (fewer frames: it is slow).
 		sift := vision.NewSIFT(vision.SIFTConfig{})
@@ -527,7 +535,7 @@ func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 		if nSift > 10 {
 			nSift = 10
 		}
-		start = time.Now()
+		start = clk.Now()
 		for i := 0; i < nSift; i++ {
 			payload, err := r.Payload(i)
 			if err != nil {
@@ -538,7 +546,7 @@ func Table3(ctx context.Context, opts Opts) ([]Table3Row, error) {
 			}
 			sift.Score(img)
 		}
-		row.SIFTFPS = float64(nSift) / time.Since(start).Seconds()
+		row.SIFTFPS = float64(nSift) / clk.Now().Sub(start).Seconds()
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -53,6 +53,8 @@ func (p *Plane) Row(y int) []byte {
 }
 
 // Fill sets every pixel to v.
+//
+//sieve:noalloc plane reset on the encode path
 func (p *Plane) Fill(v byte) {
 	for y := 0; y < p.H; y++ {
 		row := p.Row(y)
@@ -88,6 +90,8 @@ func (p *Plane) Equal(q *Plane) bool {
 }
 
 // CopyFrom copies q's pixels into p. Panics if dimensions differ.
+//
+//sieve:noalloc reference-frame rollover on the decode path
 func (p *Plane) CopyFrom(q *Plane) {
 	if p.W != q.W || p.H != q.H {
 		panic(fmt.Sprintf("frame: CopyFrom size mismatch %dx%d vs %dx%d", p.W, p.H, q.W, q.H))
@@ -171,6 +175,8 @@ func Clamp(v int) byte {
 // SAD returns the sum of absolute differences between the w×h block at
 // (ax, ay) in a and the block at (bx, by) in b. Blocks may extend past the
 // plane edges; border pixels are extended (clamped addressing).
+//
+//sieve:noalloc motion-search inner loop
 func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 	sum := 0
 	// Fast path: both blocks fully inside their planes.
@@ -209,6 +215,8 @@ func SAD(a *Plane, ax, ay int, b *Plane, bx, by, w, h int) int {
 // the comparison outcome (and therefore the chosen vector and the bitstream)
 // is identical to computing the full sum. Callers that need the exact value
 // on ties must pass bound = best+1.
+//
+//sieve:noalloc motion-search inner loop with early exit
 func SADBounded(a *Plane, ax, ay int, b *Plane, bx, by, w, h, bound int) int {
 	sum := 0
 	if ax >= 0 && ay >= 0 && ax+w <= a.W && ay+h <= a.H &&
@@ -245,6 +253,8 @@ func SADBounded(a *Plane, ax, ay int, b *Plane, bx, by, w, h, bound int) int {
 }
 
 // SSE returns the sum of squared differences between same-sized planes.
+//
+//sieve:noalloc similarity inner loop
 func SSE(a, b *Plane) int64 {
 	if a.W != b.W || a.H != b.H {
 		panic(fmt.Sprintf("frame: SSE size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
@@ -318,6 +328,8 @@ func Resize(src *Plane, w, h int) *Plane {
 // results; Resize merely hoists the row-invariant terms). Exposed so
 // allocation-free consumers (nn.FromYUVInto) can sample a virtual resized
 // plane without materialising it.
+//
+//sieve:noalloc resize inner loop
 func BilinearSample(src *Plane, w, h, x, y int) byte {
 	yRatio := float64(src.H) / float64(h)
 	sy := (float64(y)+0.5)*yRatio - 0.5

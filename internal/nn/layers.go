@@ -70,6 +70,8 @@ func (c *Conv2D) FLOPs(in Shape) int64 {
 // forwardItem is the single-item convolution kernel shared by Forward and
 // ForwardBatch: accumulation order (ic, ky, kx) is fixed so both paths
 // produce bit-identical floats.
+//
+//sieve:noalloc convolution inner loop
 func (c *Conv2D) forwardItem(in []float32, inH, inW int, out []float32, outH, outW int) {
 	for oc := 0; oc < c.OutC; oc++ {
 		bias := c.B[oc]
@@ -114,6 +116,8 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 }
 
 // ForwardBatch implements Layer.
+//
+//sieve:noalloc batched forward reuses caller buffers
 func (c *Conv2D) ForwardBatch(in, out *Batch) {
 	if in.C != c.InC {
 		panic(fmt.Sprintf("nn: conv %s expects %d channels, got %d", c.Tag, c.InC, in.C))
@@ -141,6 +145,8 @@ func (r *ReLU) FLOPs(in Shape) int64 { return int64(in.Elems()) }
 
 // reluInto writes max(v, 0) for every element (out may hold stale data, so
 // zeros are written explicitly, unlike the allocating Forward).
+//
+//sieve:noalloc activation inner loop
 func reluInto(in, out []float32) {
 	for i, v := range in {
 		if v > 0 {
@@ -159,6 +165,8 @@ func (r *ReLU) Forward(in *Tensor) *Tensor {
 }
 
 // ForwardBatch implements Layer.
+//
+//sieve:noalloc batched forward reuses caller buffers
 func (r *ReLU) ForwardBatch(in, out *Batch) {
 	reluInto(in.Data, out.Data)
 }
@@ -182,6 +190,8 @@ func (m *MaxPool2) OutShape(in Shape) Shape {
 func (m *MaxPool2) FLOPs(in Shape) int64 { return int64(in.Elems()) }
 
 // poolItem is the single-item 2×2 max-pool kernel.
+//
+//sieve:noalloc pooling inner loop
 func poolItem(in []float32, c, inH, inW int, out []float32, oh, ow int) {
 	for ch := 0; ch < c; ch++ {
 		for y := 0; y < oh; y++ {
@@ -213,6 +223,8 @@ func (m *MaxPool2) Forward(in *Tensor) *Tensor {
 }
 
 // ForwardBatch implements Layer.
+//
+//sieve:noalloc batched forward reuses caller buffers
 func (m *MaxPool2) ForwardBatch(in, out *Batch) {
 	for i := 0; i < in.N; i++ {
 		poolItem(in.Item(i), in.C, in.H, in.W, out.Item(i), out.H, out.W)
@@ -238,6 +250,8 @@ func (s *Softmax) FLOPs(in Shape) int64 { return int64(in.Elems()) * 4 }
 
 // softmaxItem is the single-item per-cell softmax kernel (summation order
 // over channels fixed, matching the historical Forward).
+//
+//sieve:noalloc softmax inner loop
 func softmaxItem(in []float32, c, h, w int, out []float32) {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -266,6 +280,8 @@ func (s *Softmax) Forward(in *Tensor) *Tensor {
 }
 
 // ForwardBatch implements Layer.
+//
+//sieve:noalloc batched forward reuses caller buffers
 func (s *Softmax) ForwardBatch(in, out *Batch) {
 	for i := 0; i < in.N; i++ {
 		softmaxItem(in.Item(i), in.C, in.H, in.W, out.Item(i))

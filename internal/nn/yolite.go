@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"slices"
 
 	"sieve/internal/frame"
 	"sieve/internal/labels"
@@ -158,6 +159,7 @@ func frameLabelSet(dets []Detection, count map[string]int, best map[string]float
 			names = append(names, class)
 		}
 	}
+	slices.Sort(names) // canonical order: count is a map, iteration order is random
 	return labels.NewSet(names...), names
 }
 

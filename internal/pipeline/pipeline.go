@@ -350,6 +350,23 @@ func resizedIntraBytes(img *frame.YUV, quality int) (int, error) {
 	return len(ef.Data), nil
 }
 
+// Clock is the time source behind this package's micro-benchmarks.
+// Production measurement reads the wall clock — the timings are the signal —
+// but through this seam tests inject a fixed-step clock, making the
+// measurement machinery itself deterministic and instant.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+//sieve:wallclock this is the wall-clock implementation behind the Clock seam
+func (wallClock) Now() time.Time { return time.Now() }
+
+// WallClock returns the real time source used by MeasureCosts.
+func WallClock() Clock { return wallClock{} }
+
 // MicroCosts are measured per-operation times on this host, the service
 // times of the DES stages.
 type MicroCosts struct {
@@ -383,18 +400,23 @@ func DefaultCluster() Cluster {
 
 // MeasureCosts times each micro-operation on the asset's own streams and
 // the given detector (nil detector uses a fresh YOLite over the five paper
-// classes).
+// classes), against the wall clock.
 func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
+	return MeasureCostsWithClock(a, det, WallClock())
+}
+
+// MeasureCostsWithClock is MeasureCosts against an injected time source.
+func MeasureCostsWithClock(a *VideoAsset, det *nn.YOLite, clk Clock) (MicroCosts, error) {
 	var mc MicroCosts
 	// Seek: scan the full semantic index, amortised per frame.
-	start := time.Now()
+	start := clk.Now()
 	rounds := 0
-	for time.Since(start) < 2*time.Millisecond {
+	for clk.Now().Sub(start) < 2*time.Millisecond {
 		n := 0
 		a.Semantic.ScanMeta(func(container.FrameMeta) bool { n++; return true })
 		rounds++
 	}
-	mc.Seek = time.Since(start) / time.Duration(rounds*a.NumFrames)
+	mc.Seek = clk.Now().Sub(start) / time.Duration(rounds*a.NumFrames)
 	if mc.Seek <= 0 {
 		// The metadata scan can be under a nanosecond per frame; keep the
 		// cost strictly positive so throughput stays finite.
@@ -410,12 +432,12 @@ func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
 	if err != nil {
 		return mc, err
 	}
-	start = time.Now()
+	start = clk.Now()
 	img, err := codec.DecodeIFrame(params, payload)
 	if err != nil {
 		return mc, err
 	}
-	mc.DecodeI = time.Since(start)
+	mc.DecodeI = clk.Now().Sub(start)
 
 	// DecodeP: sequential decode of the first few default frames, with the
 	// steady-state decode-into path (what the baselines actually pay).
@@ -428,7 +450,7 @@ func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
 		n = 20
 	}
 	last := frame.NewYUV(a.Default.Info().Width, a.Default.Info().Height)
-	start = time.Now()
+	start = clk.Now()
 	for i := 0; i < n; i++ {
 		p, err := a.Default.Payload(i)
 		if err != nil {
@@ -438,29 +460,29 @@ func MeasureCosts(a *VideoAsset, det *nn.YOLite) (MicroCosts, error) {
 			return mc, err
 		}
 	}
-	mc.DecodeP = time.Since(start) / time.Duration(n)
+	mc.DecodeP = clk.Now().Sub(start) / time.Duration(n)
 
 	// MSE between two decoded frames.
 	m := vision.NewMSE()
 	m.Score(img)
-	start = time.Now()
+	start = clk.Now()
 	m.Score(last)
-	mc.MSE = time.Since(start)
+	mc.MSE = clk.Now().Sub(start)
 
 	// Resize + intra encode.
-	start = time.Now()
+	start = clk.Now()
 	if _, err := resizedIntraBytes(img, params.Quality); err != nil {
 		return mc, err
 	}
-	mc.ResizeEncode = time.Since(start)
+	mc.ResizeEncode = clk.Now().Sub(start)
 
 	// NN forward.
 	if det == nil {
 		det = nn.NewYOLite([]string{"car", "bus", "truck", "person", "boat"}, NNInputSize)
 	}
-	start = time.Now()
+	start = clk.Now()
 	det.FrameLabels(img)
-	mc.NN = time.Since(start)
+	mc.NN = clk.Now().Sub(start)
 	return mc, nil
 }
 

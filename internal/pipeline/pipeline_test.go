@@ -107,6 +107,39 @@ func TestMeasureCosts(t *testing.T) {
 	}
 }
 
+// stepClock advances a fixed amount on every Now read, making every timing
+// loop in MeasureCostsWithClock terminate after a deterministic number of
+// iterations.
+type stepClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestMeasureCostsDeterministicUnderStepClock(t *testing.T) {
+	a := testAsset(t)
+	det := nn.NewYOLite([]string{"car"}, 64)
+	measure := func() MicroCosts {
+		clk := &stepClock{now: time.Unix(0, 0), step: 100 * time.Microsecond}
+		mc, err := MeasureCostsWithClock(a, det, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+	first, second := measure(), measure()
+	if first != second {
+		t.Fatalf("MeasureCostsWithClock not deterministic under a step clock:\n%+v\n%+v", first, second)
+	}
+	if first.Seek <= 0 || first.DecodeI <= 0 || first.NN <= 0 {
+		t.Fatalf("non-positive cost under step clock: %+v", first)
+	}
+}
+
 func TestEvaluateAllMethods(t *testing.T) {
 	a := testAsset(t)
 	det := nn.NewYOLite([]string{"car"}, 64)

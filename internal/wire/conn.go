@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 
 	"sieve/internal/frame"
@@ -76,15 +77,36 @@ func (c *Conn) ReadMessage() (MsgType, []byte, error) {
 	if n > MaxMessage {
 		return 0, nil, fmt.Errorf("wire: %s payload length %d exceeds MaxMessage %d", t, n, MaxMessage)
 	}
-	if cap(c.rbuf) < n {
-		c.rbuf = make([]byte, n)
+	if cap(c.rbuf) >= n {
+		// Steady state: the reused buffer already fits (zero allocations).
+		c.rbuf = c.rbuf[:n]
+		if _, err := io.ReadFull(c.br, c.rbuf); err != nil {
+			return 0, nil, fmt.Errorf("wire: reading %s payload: %w", t, err)
+		}
+		return t, c.rbuf, nil
 	}
-	c.rbuf = c.rbuf[:n]
-	if _, err := io.ReadFull(c.br, c.rbuf); err != nil {
-		return 0, nil, fmt.Errorf("wire: reading %s payload: %w", t, err)
+	// First sight of a payload this large: grow in bounded steps as data
+	// actually arrives, so a forged length header cannot make the ingest
+	// plane hold MaxMessage bytes for a peer that never sends them.
+	c.rbuf = c.rbuf[:0]
+	for len(c.rbuf) < n {
+		k := n - len(c.rbuf)
+		if k > readChunk {
+			k = readChunk
+		}
+		c.rbuf = slices.Grow(c.rbuf, k)
+		start := len(c.rbuf)
+		c.rbuf = c.rbuf[:start+k]
+		if _, err := io.ReadFull(c.br, c.rbuf[start:]); err != nil {
+			c.rbuf = c.rbuf[:0]
+			return 0, nil, fmt.Errorf("wire: reading %s payload: %w", t, err)
+		}
 	}
 	return t, c.rbuf, nil
 }
+
+// readChunk bounds each allocation step while a payload streams in.
+const readChunk = 1 << 20
 
 // send encodes a payload with fn into the reused scratch and writes it.
 func (c *Conn) send(t MsgType, fn func([]byte) []byte) error {

@@ -486,11 +486,15 @@ func ParseResume(payload []byte) (Resume, error) {
 // plane bytes follow).
 //
 //	i64 index | Y rows | Cb rows | Cr rows (compact stride)
+//
+//sieve:noalloc frame send path appends into the caller's buffer
 func AppendFrameHeader(b []byte, index int64) []byte {
 	return appendUint64(b, uint64(index))
 }
 
 // FrameIndex extracts the index field of a FRAME payload.
+//
+//sieve:noalloc per-frame header parse
 func FrameIndex(payload []byte) (int64, error) {
 	if len(payload) < 8 {
 		return 0, fmt.Errorf("wire: truncated FRAME payload (%d bytes)", len(payload))
@@ -501,6 +505,8 @@ func FrameIndex(payload []byte) (int64, error) {
 // DecodeFrameInto copies a FRAME payload's pixel data into f, which must
 // already have the feed's geometry. The payload length must be exactly
 // 8 + FrameBytes(w,h).
+//
+//sieve:noalloc frame receive path writes into a reused YUV
 func DecodeFrameInto(payload []byte, f *frame.YUV) (int64, error) {
 	idx, err := FrameIndex(payload)
 	if err != nil {
@@ -515,7 +521,7 @@ func DecodeFrameInto(payload []byte, f *frame.YUV) (int64, error) {
 		return 0, fmt.Errorf("wire: FRAME %d: %d pixel bytes, want %d for %dx%d",
 			idx, len(pix), want, f.W, f.H)
 	}
-	for _, p := range []*frame.Plane{f.Y, f.Cb, f.Cr} {
+	for _, p := range [3]*frame.Plane{f.Y, f.Cb, f.Cr} {
 		n := p.W * p.H
 		src := pix[:n]
 		pix = pix[n:]
@@ -531,8 +537,10 @@ func DecodeFrameInto(payload []byte, f *frame.YUV) (int64, error) {
 }
 
 // AppendFramePixels appends f's plane rows to b in wire order.
+//
+//sieve:noalloc frame send path appends into the caller's buffer
 func AppendFramePixels(b []byte, f *frame.YUV) []byte {
-	for _, p := range []*frame.Plane{f.Y, f.Cb, f.Cr} {
+	for _, p := range [3]*frame.Plane{f.Y, f.Cb, f.Cr} {
 		for y := 0; y < p.H; y++ {
 			b = append(b, p.Row(y)...)
 		}

@@ -27,8 +27,10 @@ type Clock interface {
 
 type realClock struct{}
 
+//sieve:wallclock this IS the wall clock behind the Clock interface
 func (realClock) Now() time.Time { return time.Now() }
 
+//sieve:wallclock this IS the wall clock behind the Clock interface
 func (realClock) Sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
