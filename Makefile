@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/infer/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-full docs-lint wire-smoke fmt vet lint sievelint fuzz-smoke vuln ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-full docs-lint wire-smoke chaos-smoke fmt vet lint sievelint fuzz-smoke vuln ci
 
 all: build
 
@@ -134,6 +134,17 @@ bench-ingest-smoke:
 wire-smoke:
 	$(GO) test -race -run '^(TestWire|TestPusher)' -count=1 .
 
+# Chaos smoke: every fault-injection and recovery path under the race
+# detector — scripted site crashes with EdgeStore replay failover
+# (byte-identical to the fault-free run), uplink partition/heal, load-skewed
+# placement, mid-run cloud queryability, pusher reconnect backoff, and the
+# faultplan/retry/simnet unit suites.
+chaos-smoke:
+	$(GO) test -race -run '^(TestClusterFailover|TestClusterView|TestClusterPartition|TestClusterLoadSkew|TestClusterUnseekable|TestPusherRunRetry)' -count=1 .
+	$(GO) test -race -count=1 ./internal/faultplan/ ./internal/retry/
+	$(GO) test -race -run '^(TestFailHeal|TestDegrade)' -count=1 ./internal/simnet/
+	$(GO) test -race -run '^TestCoordinator' -count=1 ./internal/cluster/
+
 # Docs lint: PROTOCOL.md is normative — these tests parse its
 # message-type, error-code, drain and close tables and fail when they
 # disagree with the internal/wire constants (in either direction).
@@ -146,4 +157,4 @@ bench-full:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
 
 # Everything CI checks, in CI's order.
-ci: build vet fmt lint test-short bench wire-smoke docs-lint fuzz-smoke
+ci: build vet fmt lint test-short bench wire-smoke chaos-smoke docs-lint fuzz-smoke

@@ -9,7 +9,10 @@ import (
 
 	"sieve/internal/cluster"
 	"sieve/internal/container"
+	"sieve/internal/faultplan"
 	"sieve/internal/labels"
+	"sieve/internal/retry"
+	"sieve/internal/simnet"
 	"sieve/internal/store"
 )
 
@@ -29,7 +32,24 @@ type (
 	Sharder = cluster.Sharder
 	// SiteLoad is the per-site state a Sharder sees at assignment time.
 	SiteLoad = cluster.SiteLoad
+	// FaultPlan is a deterministic fault-injection script for a cluster run:
+	// site crashes and recoveries, uplink partitions and degradations, load
+	// skew — each anchored to a frame-count trigger on a named feed, so the
+	// same plan fires at the same points in every run. Build with
+	// ParseFaultPlan and attach with WithFaultPlan.
+	FaultPlan = faultplan.Plan
+	// DegradedSite marks a site whose contribution to the merged view is
+	// incomplete or stale (it crashed, or its uplink stayed partitioned) —
+	// the explicit alternative to silently short counts.
+	DegradedSite = cluster.DegradedSite
 )
+
+// ParseFaultPlan parses the fault-script grammar
+// kind:site:feed@frame[:factor], semicolon-separated — e.g.
+// "crash:site1:cam-north@5;recover:site1:cam-north@9". Kinds: crash,
+// recover, linkdown, linkup, degrade (uplink bandwidth divided by factor),
+// skew (site load multiplied by factor in failover placement).
+func ParseFaultPlan(script string) (*FaultPlan, error) { return faultplan.Parse(script) }
 
 // NewResultsDB returns an empty results database.
 func NewResultsDB() *ResultsDB { return store.NewResultsDB() }
@@ -56,15 +76,18 @@ func SharderByName(name string) (Sharder, error) { return cluster.ByName(name) }
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	sharder     Sharder
-	siteWorkers int
-	bufSize     int
-	uplinkBps   float64
-	latency     time.Duration
-	quota       int64
-	inferDet    *Detector
-	inferBatch  int
-	ingest      *IngestListener
+	sharder      Sharder
+	siteWorkers  int
+	bufSize      int
+	uplinkBps    float64
+	latency      time.Duration
+	quota        int64
+	inferDet     *Detector
+	inferBatch   int
+	ingest       *IngestListener
+	faults       *FaultPlan
+	syncEvery    int
+	syncAttempts int
 }
 
 // WithSharder selects the feed-placement policy (default ShardByHash).
@@ -118,6 +141,34 @@ func WithClusterListener(l *IngestListener) ClusterOption {
 	return func(c *clusterConfig) { c.ingest = l }
 }
 
+// WithFaultPlan scripts deterministic fault injection into the run: the
+// plan's events fire as feeds hit their trigger frame counts. A crashed
+// site's uplink drops and its sessions stop; once the cloud's
+// missed-heartbeat counter confirms the death, the site's feeds are
+// re-sharded over the surviving sites and each resumes at an I-frame
+// boundary, replaying its tail from the dead site's EdgeStore, so the
+// merged view still converges on the fault-free result. See FaultPlan.
+func WithFaultPlan(p *FaultPlan) ClusterOption {
+	return func(c *clusterConfig) { c.faults = p }
+}
+
+// WithDeltaSync tunes the streaming shard replication: every `every`
+// detections a site ships an incremental ResultsDB delta to the cloud
+// (making the global view queryable mid-run via Cluster.View), retrying a
+// failed ship up to `attempts` times on the deterministic exponential
+// backoff schedule before marking the site degraded. Defaults: every 8,
+// 4 attempts.
+func WithDeltaSync(every, attempts int) ClusterOption {
+	return func(c *clusterConfig) {
+		if every > 0 {
+			c.syncEvery = every
+		}
+		if attempts > 0 {
+			c.syncAttempts = attempts
+		}
+	}
+}
+
 // WithClusterBuffer sets the merged event channel capacity (default 256).
 func WithClusterBuffer(n int) ClusterOption {
 	return func(c *clusterConfig) {
@@ -137,6 +188,12 @@ type clusterFeed struct {
 	name string
 	sess *Session
 	sink *container.Buffer
+	// src and opts are kept for failover: a migrated feed re-runs as a
+	// fresh Session over the original (re-seeked) source — or over an
+	// EdgeStore replay of its salvaged tail when the source is unseekable —
+	// with the same options.
+	src  FrameSource
+	opts []SessionOption
 }
 
 // clusterSite is one edge site: a Hub with its own bounded pool, a
@@ -149,6 +206,16 @@ type clusterSite struct {
 	feeds  []*clusterFeed
 	frames int // expected frames of bounded feeds (sharder load input)
 	err    error
+	// Failover state (guarded by Cluster.mu). crashed: the site is down
+	// right now; failover: it crashed at some point, so its feeds need
+	// migration when its goroutine exits; recovered: a later SiteRecover
+	// healed its uplink and put it back in the load table; submitted: its
+	// final report reached the cloud.
+	crashed   bool
+	failover  bool
+	recovered bool
+	submitted bool
+	cancel    context.CancelFunc
 }
 
 // Cluster is the multi-site deployment of Figure 1: N camera feeds sharded
@@ -166,16 +233,51 @@ type clusterSite struct {
 // Usage mirrors Hub: AddFeed cameras, consume Events concurrently, Run,
 // then Snapshot / Merged / Query.
 type Cluster struct {
+	cfg     clusterConfig
 	sharder Sharder
 	topo    *cluster.Topology
 	coord   *cluster.Coordinator
 	ingest  *IngestListener // network ingest plane, nil = in-process only
+	frunner *faultplan.Runner
+	// syncClock paces delta-sync retry backoff. It is a VirtualClock — like
+	// the simnet links, retry time is simulated, so a partitioned site
+	// exhausts its schedule instantly and deterministically instead of
+	// stalling the run.
+	syncClock Clock
 
-	mu      sync.Mutex
-	sites   []*clusterSite
-	started bool
-	merged  *ResultsDB
-	events  chan Event
+	mu        sync.Mutex
+	sites     []*clusterSite
+	started   bool
+	merged    *ResultsDB
+	events    chan Event
+	skew      map[string]float64 // LoadSkew factors by site (failover placement)
+	failovers []Failover
+	fstats    failoverCounters
+}
+
+// failoverCounters aggregates the fault plane's activity (Cluster.mu).
+type failoverCounters struct {
+	crashes    int
+	recoveries int
+	migrated   int
+	lost       int
+	replayed   int
+	deltaSyncs int64
+	retries    int64
+}
+
+// Failover records one migrated feed: where it ran, where it resumed, and
+// how many frames the adoptive site re-encoded from the replay point.
+type Failover struct {
+	// Feed is the migrated camera.
+	Feed string
+	// From is the crashed site; To the surviving site that adopted the feed.
+	From, To string
+	// ResumeFrame is the I-frame boundary the feed resumed at (original
+	// frame numbering).
+	ResumeFrame int
+	// ReplayedFrames counts frames re-encoded on the adoptive site.
+	ReplayedFrames int
 }
 
 // NewCluster builds a cluster of numSites edge sites named "site0"..,
@@ -184,7 +286,7 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 	if numSites < 1 {
 		return nil, fmt.Errorf("sieve: cluster: need at least one site, got %d", numSites)
 	}
-	cfg := clusterConfig{sharder: ShardByHash(), bufSize: 256, latency: -1}
+	cfg := clusterConfig{sharder: ShardByHash(), bufSize: 256, latency: -1, syncEvery: 8, syncAttempts: 4}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -197,11 +299,18 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 		return nil, fmt.Errorf("sieve: cluster: %w", err)
 	}
 	c := &Cluster{
-		sharder: cfg.sharder,
-		topo:    topo,
-		coord:   cluster.NewCoordinator(topo),
-		ingest:  cfg.ingest,
-		events:  make(chan Event, cfg.bufSize),
+		cfg:       cfg,
+		sharder:   cfg.sharder,
+		topo:      topo,
+		coord:     cluster.NewCoordinator(topo),
+		ingest:    cfg.ingest,
+		frunner:   faultplan.NewRunner(cfg.faults),
+		syncClock: NewVirtualClock(time.Unix(0, 0).UTC()),
+		events:    make(chan Event, cfg.bufSize),
+		skew:      make(map[string]float64),
+	}
+	for _, name := range names {
+		c.coord.Register(name)
 	}
 	for _, name := range names {
 		hubOpts := []HubOption{WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize)}
@@ -257,12 +366,12 @@ func (c *Cluster) AddFeed(name string, src FrameSource, opts ...SessionOption) (
 	}
 	site := c.sites[idx]
 	sink := &container.Buffer{}
-	opts = append(opts[:len(opts):len(opts)], WithSink(sink))
-	sess, err := site.hub.Add(name, src, opts...)
+	pristine := opts[:len(opts):len(opts)]
+	sess, err := site.hub.Add(name, src, append(pristine, WithSink(sink))...)
 	if err != nil {
 		return nil, "", err
 	}
-	site.feeds = append(site.feeds, &clusterFeed{name: name, sess: sess, sink: sink})
+	site.feeds = append(site.feeds, &clusterFeed{name: name, sess: sess, sink: sink, src: src, opts: pristine})
 	if n := src.Info().Frames; n > 0 {
 		site.frames += n
 	}
@@ -321,19 +430,41 @@ func (c *Cluster) Run(ctx context.Context) error {
 		return fmt.Errorf("sieve: cluster: %w", ErrNoFeeds)
 	}
 
-	var wg sync.WaitGroup
+	// Each site runs under its own cancelable context so a scripted crash
+	// can kill one site without touching the others.
+	done := make(chan *clusterSite, len(sites))
 	for _, s := range sites {
-		wg.Add(1)
-		go func(s *clusterSite) {
-			defer wg.Done()
-			err := c.runSite(ctx, s)
+		siteCtx, cancel := context.WithCancel(ctx)
+		c.mu.Lock()
+		s.cancel = cancel
+		c.mu.Unlock()
+		go func(s *clusterSite, sctx context.Context) {
+			err := c.runSite(sctx, s)
 			c.mu.Lock()
 			s.err = err
 			c.mu.Unlock()
-		}(s)
+			done <- s
+		}(s, siteCtx)
 	}
-	wg.Wait()
+	// Collect sites as they finish; a crashed site's feeds fail over to the
+	// survivors (which are typically still running) as soon as its goroutine
+	// exits and the cloud's missed-heartbeat counter confirms the death.
+	var migrations sync.WaitGroup
+	for range sites {
+		s := <-done
+		c.mu.Lock()
+		failover := s.failover
+		c.mu.Unlock()
+		if failover {
+			c.handleCrash(ctx, s, &migrations)
+		}
+	}
+	migrations.Wait()
+	c.reconcile(ctx, sites)
 	close(c.events)
+	for _, s := range sites {
+		s.cancel()
+	}
 
 	merged, mergeErr := c.coord.MergeAll()
 	c.mu.Lock()
@@ -356,8 +487,11 @@ func (c *Cluster) Run(ctx context.Context) error {
 }
 
 // runSite drives one edge site: pump its hub's events (recording
-// detections into the shard and metering the uplink), run the hub, archive
-// the encoded streams, and ship the shard report to the cloud.
+// detections into the shard, streaming incremental deltas to the cloud and
+// metering the uplink), run the hub, archive the encoded streams, and ship
+// the final shard report. A site killed by a scripted crash instead
+// salvages its partial streams into the EdgeStore for replay and returns
+// nil — the degraded markers and failover records carry the signal.
 func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 	var (
 		pump    sync.WaitGroup
@@ -366,15 +500,27 @@ func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 	pump.Add(1)
 	go func() {
 		defer pump.Done()
+		synced := 0 // detections recorded since the last delta flush
 		for ev := range s.hub.Events() {
 			ev.Site = s.name
+			// Every forwarded event is a liveness proof: heartbeats are
+			// event-driven, not wall-clock timers.
+			c.coord.Heartbeat(s.name)
 			switch ev.Kind {
+			case EventFrameEncoded:
+				// Encode progress drives the fault script: frame counts are
+				// the deterministic clock faults are anchored to.
+				c.applyFaults(c.frunner.Observe(ev.Feed, ev.Frame+1))
 			case EventDetection:
 				// The edge records locally and ships the tiny detection
 				// record upstream — the frame payload never crosses the WAN.
 				s.shard.Put(ev.Feed, ev.Frame, ev.Labels)
 				if err := c.coord.ShipDetection(s.name, ev.Feed, ev.Labels); err != nil && pumpErr == nil {
 					pumpErr = err
+				}
+				if synced++; synced >= c.cfg.syncEvery {
+					synced = 0
+					c.flushDeltas(ctx, s)
 				}
 			case EventStats:
 				if err := c.coord.ShipStats(s.name); err != nil && pumpErr == nil {
@@ -401,21 +547,37 @@ func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 	}
 	pump.Wait()
 
+	c.mu.Lock()
+	crashed := s.failover
+	c.mu.Unlock()
+
 	var errs []error
-	if runErr != nil {
-		errs = append(errs, runErr)
-	}
-	if pumpErr != nil {
-		errs = append(errs, pumpErr)
+	if !crashed {
+		if runErr != nil {
+			errs = append(errs, runErr)
+		}
+		if pumpErr != nil {
+			errs = append(errs, pumpErr)
+		}
 	}
 
-	// Archive completed streams in the site's edge store (failed feeds have
-	// no finalised stream to retain).
 	feedErrs := make(map[string]string, len(s.feeds))
 	for _, fs := range s.hub.Snapshot().Feeds {
 		feedErrs[fs.Feed] = fs.Err
 	}
 	for _, f := range s.feeds {
+		if crashed {
+			// The crash killed the process, not the disk: finalise each
+			// partial stream's index and retain it so the migrated feed can
+			// replay its tail. Frames append whole, so the salvage point is
+			// always a frame boundary.
+			if f.sess.salvage() {
+				_, _ = s.edge.PutEvict(f.name, f.sink)
+			}
+			continue
+		}
+		// Archive completed streams in the site's edge store (failed feeds
+		// have no finalised stream to retain).
 		if feedErrs[f.name] != "" {
 			continue
 		}
@@ -423,20 +585,395 @@ func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 			errs = append(errs, fmt.Errorf("archiving feed %s: %w", f.name, err))
 		}
 	}
+	if crashed {
+		return errors.Join(errs...)
+	}
 
-	// Ship the end-of-run shard sync.
+	// Flush the trailing delta so the cloud replica is complete, then ship
+	// the end-of-run manifest. A partitioned uplink degrades the site
+	// (stale-but-consistent cloud view) instead of failing the run; the
+	// pre-merge reconcile pass retries if the link heals.
+	c.flushDeltas(ctx, s)
 	st := s.hub.Snapshot()
-	if err := c.coord.Submit(cluster.Report{
+	err := c.coord.Submit(cluster.Report{
 		Site:         s.name,
 		Shard:        s.shard,
 		Frames:       st.Frames,
 		IFrames:      st.IFrames,
 		Detections:   st.Detections,
 		PayloadBytes: st.PayloadBytes,
-	}); err != nil {
+	})
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		s.submitted = true
+		c.mu.Unlock()
+	case errors.Is(err, simnet.ErrLinkDown):
+		c.coord.MarkDegraded(s.name, fmt.Sprintf("uplink partitioned at submit; replica at cursor %d", c.coord.SyncCursor(s.name)))
+	default:
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
+}
+
+// applyFaults executes fired fault-script events. It is called from the
+// site pumps (and migration pumps) as feeds report encode progress, so the
+// cluster state at each firing is a pure function of per-feed frame counts.
+func (c *Cluster) applyFaults(fired []faultplan.Event) {
+	for _, e := range fired {
+		switch e.Kind {
+		case faultplan.SiteCrash:
+			c.crashSite(e.Site)
+		case faultplan.SiteRecover:
+			c.recoverSite(e.Site)
+		case faultplan.LinkDown:
+			if l, ok := c.topo.Uplink(e.Site); ok {
+				l.Fail()
+			}
+		case faultplan.LinkUp:
+			if l, ok := c.topo.Uplink(e.Site); ok {
+				l.Heal()
+			}
+		case faultplan.LinkDegrade:
+			if l, ok := c.topo.Uplink(e.Site); ok {
+				l.Degrade(e.Factor)
+			}
+		case faultplan.LoadSkew:
+			c.mu.Lock()
+			c.skew[e.Site] = e.Factor
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Cluster) siteLocked(name string) *clusterSite {
+	for _, s := range c.sites {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// crashSite kills a site: cancels its context (its sessions stop at their
+// next frame) and drops its uplink. The EdgeStore survives — a crash is
+// not disk loss.
+func (c *Cluster) crashSite(name string) {
+	c.mu.Lock()
+	s := c.siteLocked(name)
+	if s == nil || s.crashed {
+		c.mu.Unlock()
+		return
+	}
+	s.crashed, s.failover = true, true
+	cancel := s.cancel
+	c.fstats.crashes++
+	c.mu.Unlock()
+	if l, ok := c.topo.Uplink(name); ok {
+		l.Fail()
+	}
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// recoverSite heals a crashed site's uplink and puts it back in the load
+// table: feeds already migrated away stay where they are, but the site is
+// eligible to adopt future failovers, and the reconcile pass can ship its
+// pre-crash shard once the link is up.
+func (c *Cluster) recoverSite(name string) {
+	c.mu.Lock()
+	s := c.siteLocked(name)
+	if s == nil || !s.crashed {
+		c.mu.Unlock()
+		return
+	}
+	s.crashed = false
+	s.recovered = true
+	c.fstats.recoveries++
+	c.mu.Unlock()
+	if l, ok := c.topo.Uplink(name); ok {
+		l.Heal()
+	}
+}
+
+// handleCrash runs on the Run goroutine when a crashed site's goroutine
+// exits. The cloud first confirms the death the way a real coordinator
+// would — observing silence epochs until the missed-heartbeat counter
+// crosses the threshold — then every feed of the dead site is re-sharded
+// over the survivors. Target assignment is sequential in feed Add order so
+// stateful sharders (round-robin) place deterministically; the migrations
+// themselves run concurrently.
+func (c *Cluster) handleCrash(ctx context.Context, dead *clusterSite, wg *sync.WaitGroup) {
+	for !c.coord.SuspectDead(dead.name) {
+		c.coord.NoteSilence(dead.name)
+	}
+	c.coord.MarkDegraded(dead.name,
+		fmt.Sprintf("crashed after %d missed heartbeats; feeds failing over", cluster.HeartbeatThreshold))
+	for _, f := range dead.feeds {
+		target, err := c.assignFailover(f.name, dead)
+		if err != nil {
+			c.noteLostFeed(dead, f.name, err)
+			continue
+		}
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.runMigratedFeed(ctx, dead, f, target); err != nil {
+				c.noteLostFeed(dead, f.name, err)
+			}
+		}()
+	}
+}
+
+func (c *Cluster) noteLostFeed(dead *clusterSite, feed string, err error) {
+	c.mu.Lock()
+	c.fstats.lost++
+	c.mu.Unlock()
+	c.coord.MarkDegraded(dead.name, fmt.Sprintf("feed %s lost in failover: %v", feed, err))
+}
+
+// assignFailover re-shards an orphaned feed over the surviving sites using
+// the cluster's own Sharder, with each site's expected frames multiplied by
+// any scripted LoadSkew factor (steering placements away from "slow"
+// sites).
+func (c *Cluster) assignFailover(name string, from *clusterSite) (*clusterSite, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var eligible []*clusterSite
+	var loads []SiteLoad
+	for _, s := range c.sites {
+		if s == from || s.crashed {
+			continue
+		}
+		frames := s.frames
+		if k := c.skew[s.name]; k > 1 {
+			frames = int(float64(frames) * k)
+		}
+		eligible = append(eligible, s)
+		loads = append(loads, SiteLoad{Name: s.name, Feeds: len(s.feeds), Frames: frames})
+	}
+	if len(eligible) == 0 {
+		return nil, errors.New("no surviving site to adopt the feed")
+	}
+	idx, err := c.sharder.Assign(name, loads)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(eligible) {
+		return nil, fmt.Errorf("sharder %s placed feed %q on site %d of %d survivors",
+			c.sharder.Name(), name, idx, len(eligible))
+	}
+	return eligible[idx], nil
+}
+
+// runMigratedFeed resumes one orphaned feed on its adoptive site. The
+// resume point is the smallest I-frame boundary of the dead site's salvaged
+// stream not yet covered by the cloud replicas (EdgeStore.ResumePoint), so
+// every detection lost between the last delta flush and the crash is
+// re-produced. A seekable source is rewound to that boundary and re-run to
+// the end; an unseekable (live) source replays the pinned EdgeStore tail
+// only, with the live continuation reconnecting through the ingest plane's
+// RESUME path. The fresh session opens on an I-frame by construction — the
+// forced I-frame that heals the gap — and withFrameBase keeps the original
+// frame numbering, so re-encoding from an original I-frame boundary yields
+// byte-identical downstream frames and the duplicate detections merge
+// silently into the global view.
+func (c *Cluster) runMigratedFeed(ctx context.Context, from *clusterSite, f *clusterFeed, to *clusterSite) error {
+	base := 0
+	if b, err := from.edge.ResumePoint(f.name, c.coord.AppliedFrame(f.name)); err == nil {
+		base = b
+	}
+
+	src := f.src
+	var release func()
+	if sk, ok := src.(interface{ Seek(int) error }); ok {
+		if err := sk.Seek(base); err != nil {
+			return fmt.Errorf("rewinding source to frame %d: %w", base, err)
+		}
+	} else {
+		// Pin the salvaged stream so quota eviction on the dead site's
+		// store cannot invalidate the open replay cursor.
+		rel, err := from.edge.Pin(f.name)
+		if err != nil {
+			return fmt.Errorf("no replayable stream: %w", err)
+		}
+		release = rel
+		r, err := from.edge.Open(f.name)
+		if err != nil {
+			release()
+			return err
+		}
+		rs, err := NewReplaySource(r)
+		if err != nil {
+			release()
+			return err
+		}
+		if err := rs.Seek(base); err != nil {
+			release()
+			return err
+		}
+		src = rs
+	}
+	if release != nil {
+		defer release()
+	}
+
+	sink := &container.Buffer{}
+	opts := append(f.opts[:len(f.opts):len(f.opts)], WithName(f.name), WithSink(sink), withFrameBase(base))
+	if c.cfg.inferDet != nil {
+		// The dead site's shared inference plane died with its hub; the
+		// migrated session falls back to the batch-of-1 configuration of the
+		// same detector, which is result-identical by construction.
+		opts = append(opts, WithDetector(c.cfg.inferDet))
+	}
+	sess, err := NewSession(src, opts...)
+	if err != nil {
+		return err
+	}
+
+	var pump sync.WaitGroup
+	pump.Add(1)
+	replayed := 0
+	go func() {
+		defer pump.Done()
+		synced := 0
+		for ev := range sess.Events() {
+			ev.Site = to.name
+			c.coord.Heartbeat(to.name)
+			switch ev.Kind {
+			case EventFrameEncoded:
+				replayed++
+				c.applyFaults(c.frunner.Observe(ev.Feed, ev.Frame+1))
+			case EventDetection:
+				to.shard.Put(ev.Feed, ev.Frame, ev.Labels)
+				_ = c.coord.ShipDetection(to.name, ev.Feed, ev.Labels)
+				if synced++; synced >= c.cfg.syncEvery {
+					synced = 0
+					c.flushDeltas(ctx, to)
+				}
+			case EventStats:
+				_ = c.coord.ShipStats(to.name)
+			}
+			select {
+			case c.events <- ev:
+			case <-ctx.Done():
+				for range sess.Events() {
+				}
+				return
+			}
+		}
+	}()
+	runErr := sess.Run(ctx)
+	pump.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	c.flushDeltas(ctx, to)
+	// Retain the replayed tail segment on the adoptive site; under quota
+	// pressure the results have already shipped, so a failed archive only
+	// loses the redundant stream copy.
+	_, _ = to.edge.PutEvict(f.name, sink)
+
+	c.mu.Lock()
+	c.fstats.migrated++
+	c.fstats.replayed += replayed
+	to.frames += replayed
+	c.failovers = append(c.failovers, Failover{
+		Feed: f.name, From: from.name, To: to.name,
+		ResumeFrame: base, ReplayedFrames: replayed,
+	})
+	c.mu.Unlock()
+	return nil
+}
+
+// flushDeltas ships the shard entries the cloud replica has not applied
+// yet, retrying a partitioned uplink on the deterministic exponential
+// backoff schedule (virtual sleeps — exhaustion is instant and identical
+// every run). Exhaustion marks the site degraded; the next successful
+// flush clears the marker. Concurrent flushes for one site (its own pump
+// plus a migration pump) are safe: deltas always start at the replica's
+// cursor and overlapping retransmissions apply idempotently.
+func (c *Cluster) flushDeltas(ctx context.Context, s *clusterSite) {
+	if c.coord.SyncCursor(s.name) == s.shard.Version() {
+		return
+	}
+	b := retry.Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, MaxAttempts: c.cfg.syncAttempts}
+	attempts, err := retry.Do(ctx, c.syncClock, b, func() error {
+		d, derr := s.shard.DeltaSince(c.coord.SyncCursor(s.name))
+		if derr != nil {
+			return derr
+		}
+		if d.From == d.To {
+			return nil // another flusher already caught the replica up
+		}
+		return c.coord.ShipDelta(s.name, d)
+	})
+	c.mu.Lock()
+	c.fstats.deltaSyncs++
+	c.fstats.retries += int64(attempts - 1)
+	c.mu.Unlock()
+	if err != nil {
+		c.coord.MarkDegraded(s.name,
+			fmt.Sprintf("delta sync stalled at cursor %d: %v", c.coord.SyncCursor(s.name), err))
+	} else {
+		c.coord.ClearDegraded(s.name)
+	}
+}
+
+// reconcile is the pre-merge sweep: every site that has not delivered its
+// final report gets one more delta flush and submit attempt, so a site
+// whose uplink healed after its goroutine finished (linkup or recovery
+// late in the script) still contributes an authoritative shard instead of
+// a stale replica. Sites still partitioned fail here too and keep their
+// degraded markers.
+func (c *Cluster) reconcile(ctx context.Context, sites []*clusterSite) {
+	for _, s := range sites {
+		c.mu.Lock()
+		submitted, down := s.submitted, s.crashed
+		c.mu.Unlock()
+		if submitted || down {
+			// A still-crashed site's uplink is gone; MergeAll will fall back
+			// to its streamed replica and mark it degraded.
+			continue
+		}
+		c.flushDeltas(ctx, s)
+		st := s.hub.Snapshot()
+		if err := c.coord.Submit(cluster.Report{
+			Site:         s.name,
+			Shard:        s.shard,
+			Frames:       st.Frames,
+			IFrames:      st.IFrames,
+			Detections:   st.Detections,
+			PayloadBytes: st.PayloadBytes,
+		}); err == nil {
+			c.mu.Lock()
+			s.submitted = true
+			c.mu.Unlock()
+			c.coord.ClearDegraded(s.name)
+		}
+	}
+}
+
+// View merges the cloud's shadow replicas into a snapshot of the global
+// view — continuously queryable while Run is in flight, fed by the
+// streaming delta sync. Under a partition the affected site's slice of the
+// view is stale but never torn: deltas apply atomically, so the view lags
+// by whole deltas.
+func (c *Cluster) View() (*ResultsDB, error) { return c.coord.View() }
+
+// Degraded lists the sites whose contribution to the merged view is
+// incomplete or stale, with reasons, sorted by site. Empty after a fully
+// healthy run.
+func (c *Cluster) Degraded() []DegradedSite { return c.coord.Degraded() }
+
+// Failovers lists the feeds migrated off crashed sites, in completion
+// order.
+func (c *Cluster) Failovers() []Failover {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Failover(nil), c.failovers...)
 }
 
 // Merged returns the cloud's merged global ResultsDB. Only available after
@@ -533,6 +1070,18 @@ type ClusterStats struct {
 	// MergedEntries counts (camera, frame) rows in the merged view (0
 	// before Run completes).
 	MergedEntries int
+	// Crashes/Recoveries count scripted site deaths and rejoins;
+	// MigratedFeeds and LostFeeds count failover outcomes, and
+	// ReplayedFrames the frames re-encoded by adoptive sites.
+	Crashes, Recoveries, MigratedFeeds, LostFeeds, ReplayedFrames int
+	// DeltaSyncs counts streaming shard-sync flushes; SyncRetries the extra
+	// attempts the backoff schedule spent on partitioned uplinks.
+	DeltaSyncs, SyncRetries int64
+	// Failovers records each migrated feed (see Failover).
+	Failovers []Failover
+	// Degraded lists sites whose slice of the merged view is incomplete or
+	// stale, with reasons.
+	Degraded []DegradedSite
 }
 
 // FilterRate is the cluster-wide share of frames dropped at the edges.
@@ -549,8 +1098,21 @@ func (c *Cluster) Snapshot() ClusterStats {
 	c.mu.Lock()
 	sites := append([]*clusterSite(nil), c.sites...)
 	merged := c.merged
+	fs := c.fstats
+	failovers := append([]Failover(nil), c.failovers...)
 	c.mu.Unlock()
-	st := ClusterStats{Sites: make([]SiteStats, 0, len(sites))}
+	st := ClusterStats{
+		Sites:          make([]SiteStats, 0, len(sites)),
+		Crashes:        fs.crashes,
+		Recoveries:     fs.recoveries,
+		MigratedFeeds:  fs.migrated,
+		LostFeeds:      fs.lost,
+		ReplayedFrames: fs.replayed,
+		DeltaSyncs:     fs.deltaSyncs,
+		SyncRetries:    fs.retries,
+		Failovers:      failovers,
+		Degraded:       c.coord.Degraded(),
+	}
 	if merged != nil {
 		st.MergedEntries = merged.Len()
 	}

@@ -533,6 +533,260 @@ func TestClusterSingleSiteDegeneratesToHub(t *testing.T) {
 	}
 }
 
+// TestClusterFailoverEquivalence is the robustness acceptance bar: kill
+// one site mid-run and the merged ResultsDB JSON is still byte-identical
+// to the fault-free flat-Hub run — the crashed site's flushed prefix
+// arrives via streaming deltas, the rest is re-produced by the migrated
+// feed replaying from the EdgeStore resume point — and identical across
+// repeats (run it under -race; the fault script is frame-anchored, so the
+// schedule cannot move the crash).
+func TestClusterFailoverEquivalence(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:site1:cam-south@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ca := runClusterJSON(t, WithFaultPlan(plan))
+	b, _ := runClusterJSON(t, WithFaultPlan(plan))
+	if string(a) != string(b) {
+		t.Fatalf("merged ResultsDB differs between identical failover runs:\n%s\nvs\n%s", a, b)
+	}
+	flat := runFlatHubJSON(t)
+	if string(a) != string(flat) {
+		t.Fatalf("failover merged ResultsDB differs from fault-free flat hub:\ncluster:\n%s\nflat:\n%s", a, flat)
+	}
+
+	st := ca.Snapshot()
+	if st.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", st.Crashes)
+	}
+	if st.MigratedFeeds != 1 || st.LostFeeds != 0 {
+		t.Fatalf("MigratedFeeds = %d, LostFeeds = %d; want 1, 0", st.MigratedFeeds, st.LostFeeds)
+	}
+	if st.ReplayedFrames == 0 {
+		t.Fatal("no frames replayed by the adoptive site")
+	}
+	fo := ca.Failovers()
+	if len(fo) != 1 || fo[0].Feed != "cam-south" || fo[0].From != "site1" || fo[0].To == "site1" {
+		t.Fatalf("Failovers = %+v", fo)
+	}
+	if fo[0].ResumeFrame < 0 || fo[0].ResumeFrame > 6 {
+		t.Fatalf("resume frame %d outside the pre-crash window", fo[0].ResumeFrame)
+	}
+	deg := ca.Degraded()
+	if len(deg) != 1 || deg[0].Site != "site1" {
+		t.Fatalf("Degraded = %+v, want the crashed site marked", deg)
+	}
+	if st.DeltaSyncs == 0 {
+		t.Fatal("no streaming delta syncs recorded")
+	}
+}
+
+// TestClusterViewQueryableMidRun asserts the streaming half of the
+// tentpole: with per-detection delta flushes, by the time a detection
+// event reaches the consumer its entry is already applied to the cloud
+// replicas, so View() serves it while Run is still in flight.
+func TestClusterViewQueryableMidRun(t *testing.T) {
+	c, err := NewCluster(3, WithSharder(ShardRoundRobin()), WithSiteWorkers(2), WithDeltaSync(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cam := range clusterCameras {
+		if _, _, err := c.AddFeed(cam.name, NewSynthSource(clusterScene(t, cam.seed, cam.enter)), feedOpts(t)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	var midLen int
+	var midErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range c.Events() {
+			if ev.Kind != EventDetection {
+				continue
+			}
+			seen++
+			if view, err := c.View(); err != nil {
+				midErr = err
+			} else if view.Len() < seen {
+				midErr = fmt.Errorf("after %d detections the mid-run view has %d entries", seen, view.Len())
+			} else {
+				midLen = view.Len()
+			}
+		}
+	}()
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if midErr != nil {
+		t.Fatal(midErr)
+	}
+	if seen == 0 || midLen == 0 {
+		t.Fatalf("mid-run view never observed (detections %d, last view len %d)", seen, midLen)
+	}
+	merged, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midLen != merged.Len() {
+		t.Fatalf("final mid-run view %d entries, merged %d", midLen, merged.Len())
+	}
+}
+
+// TestClusterPartitionDegradesThenHeals scripts an uplink partition. Left
+// unhealed, the run still completes without error: the cloud keeps the
+// partitioned site's stale replica and says so via a degraded marker.
+// With a linkup before the end, the reconcile pass flushes the backlog and
+// the merged view converges on the flat baseline with no markers.
+func TestClusterPartitionDegradesThenHeals(t *testing.T) {
+	flat := runFlatHubJSON(t)
+
+	plan, err := ParseFaultPlan("linkdown:site1:cam-south@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, c1 := runClusterJSON(t, WithFaultPlan(plan))
+	deg := c1.Degraded()
+	if len(deg) != 1 || deg[0].Site != "site1" {
+		t.Fatalf("Degraded = %+v, want site1 marked", deg)
+	}
+	if string(stale) == string(flat) {
+		t.Fatal("partitioned run matched the flat baseline — the partition had no effect")
+	}
+	if st := c1.Snapshot(); st.SyncRetries == 0 {
+		t.Fatal("no backoff retries recorded against the partitioned uplink")
+	}
+	// The stale view is a strict subset: consistent, just behind. Every
+	// entry it does hold must agree with the fault-free baseline, so
+	// merging it into the baseline must raise no conflict.
+	merged1, err := c1.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatPath := filepath.Join(t.TempDir(), "flat.json")
+	if err := os.WriteFile(flatPath, flat, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := LoadResultsDB(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseline.Merge(merged1); err != nil {
+		t.Fatalf("stale view disagrees with the fault-free baseline: %v", err)
+	}
+	if merged1.Len() >= baseline.Len() {
+		t.Fatalf("stale view has %d entries, baseline %d — nothing went stale", merged1.Len(), baseline.Len())
+	}
+
+	healed, errPlan := ParseFaultPlan("linkdown:site1:cam-south@3;linkup:site1:cam-south@11")
+	if errPlan != nil {
+		t.Fatal(errPlan)
+	}
+	data, c2 := runClusterJSON(t, WithFaultPlan(healed))
+	if string(data) != string(flat) {
+		t.Fatalf("healed run did not converge on the flat baseline:\n%s\nvs\n%s", data, flat)
+	}
+	if deg := c2.Degraded(); len(deg) != 0 {
+		t.Fatalf("healed run still degraded: %+v", deg)
+	}
+}
+
+// TestClusterLoadSkewSteersFailover scripts a LoadSkew before the crash:
+// the least-busy sharder sees the skewed site as overloaded and places the
+// orphan on the other survivor.
+func TestClusterLoadSkewSteersFailover(t *testing.T) {
+	place := func(script string) string {
+		plan, err := ParseFaultPlan(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c := runClusterJSON(t, WithSharder(ShardLeastBusy()), WithFaultPlan(plan))
+		fo := c.Failovers()
+		if len(fo) != 1 {
+			t.Fatalf("Failovers = %+v, want exactly one", fo)
+		}
+		return fo[0].To
+	}
+	// Least-busy over the acceptance fleet: site0 carries two feeds (24
+	// expected frames), site2 one (12). Unskewed, the orphan goes to site2.
+	if to := place("crash:site1:cam-south@6"); to != "site2" {
+		t.Fatalf("unskewed failover went to %s, want site2", to)
+	}
+	// Skewing site2 by 10x flips the choice to site0.
+	if to := place("skew:site2:cam-south@1:10;crash:site1:cam-south@6"); to != "site0" {
+		t.Fatalf("skewed failover went to %s, want site0", to)
+	}
+}
+
+// TestClusterUnseekableFeedReplaysTail crashes a site holding a push (live,
+// unseekable) feed: failover pins the salvaged EdgeStore stream and replays
+// its tail on the adoptive site — the only part of a live feed that can be
+// reconstructed without the ingest plane's RESUME path.
+func TestClusterUnseekableFeedReplaysTail(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:site0:live@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(2, WithSharder(ShardRoundRobin()), WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := clusterScene(t, 31, 3)
+	spec := v.Spec()
+	live := NewPushSource("live", spec.Width, spec.Height, spec.FPS, v.NumFrames())
+	if _, site, err := c.AddFeed("live", live, feedOpts(t)...); err != nil || site != "site0" {
+		t.Fatalf("add live: %v on %s", err, site)
+	}
+	if _, site, err := c.AddFeed("steady", NewSynthSource(clusterScene(t, 32, 4)), feedOpts(t)...); err != nil || site != "site1" {
+		t.Fatalf("add steady: %v on %s", err, site)
+	}
+	go func() {
+		for i := 0; i < v.NumFrames(); i++ {
+			if err := live.Push(context.Background(), v.Frame(i)); err != nil {
+				break
+			}
+		}
+		live.Close(nil)
+	}()
+	go func() {
+		for range c.Events() {
+		}
+	}()
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fo := c.Failovers()
+	if len(fo) != 1 || fo[0].Feed != "live" || fo[0].To != "site1" {
+		t.Fatalf("Failovers = %+v, want live adopted by site1", fo)
+	}
+	if fo[0].ReplayedFrames == 0 {
+		t.Fatal("no tail frames replayed from the salvaged stream")
+	}
+	// The replayed tail segment is archived on the adoptive site.
+	edge, err := c.EdgeStore("site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cams := edge.Cameras()
+	found := false
+	for _, cam := range cams {
+		if cam == "live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("adoptive site stores %v, want the live tail segment", cams)
+	}
+	merged, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.AnalysedFrames("live")) == 0 {
+		t.Fatal("no detections for the live feed survived the crash")
+	}
+}
+
 func TestSharderByNameRoundTrip(t *testing.T) {
 	for _, name := range []string{"hash", "roundrobin", "leastbusy"} {
 		s, err := SharderByName(name)

@@ -34,6 +34,14 @@ feeds micro-batch decoded I-frames through a single detector forward pass
 the report adds the amortisation line. Results are byte-identical to the
 per-feed detector path.
 
+With -faults, a deterministic fault script runs against the cluster:
+site crashes, uplink partitions and load skew fire at exact encoded-frame
+counts. Crashed sites' feeds fail over to survivors and resume from the
+EdgeStore replica at an I-frame boundary; the report adds the failover
+ledger and any sites left degraded. The script grammar is
+kind:site:feed@frame[:factor] (kinds: crash, recover, linkdown, linkup,
+degrade, skew), semicolon-separated.
+
 examples:
   sieve cluster -feeds 6 -sites 3                 # hash sharding, 30 Mbps uplinks
   sieve cluster -feeds 8 -sites 4 -sharder leastbusy
@@ -41,6 +49,10 @@ examples:
                   # inference (feeds batch only while running concurrently, so give
                   # each site >1 worker to see amortisation on a small box)
   sieve cluster -feeds 6 -sites 2 -detect=false   # skip detector training
+  sieve cluster -feeds 6 -sites 3 -faults 'crash:site1:cam1-highway@40'
+                  # kill site1 mid-run; its feeds replay onto survivors
+  sieve cluster -feeds 4 -sites 2 -faults 'linkdown:site0:cam0-jackson_square@20;linkup:site0:cam0-jackson_square@60'
+                  # partition site0's uplink for 40 frames, then heal it
 
 flags:
 `
@@ -64,6 +76,8 @@ func cmdCluster(args []string) {
 	latency := fs.Duration("latency", 20*time.Millisecond, "per-site uplink latency")
 	detect := fs.Bool("detect", true, "train a small detector and run it on I-frames")
 	batch := fs.Int("batch", 0, "micro-batch I-frames through one shared forward pass per site, flushing at this size (0 = per-feed detectors)")
+	faults := fs.String("faults", "", "deterministic fault script: kind:site:feed@frame[:factor], semicolon-separated")
+	syncEvery := fs.Int("sync-every", 8, "ship incremental shard deltas to the cloud every N detections")
 	out := fs.String("out", "", "write the merged results database JSON here (optional)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	_ = fs.Parse(args)
@@ -99,6 +113,15 @@ func cmdCluster(args []string) {
 		sieve.WithSharder(sharder),
 		sieve.WithSiteWorkers(*workers),
 		sieve.WithUplink(*uplinkMbps*1e6, *latency),
+		sieve.WithDeltaSync(*syncEvery, 4),
+	}
+	var plan *sieve.FaultPlan
+	if *faults != "" {
+		plan, err = sieve.ParseFaultPlan(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copts = append(copts, sieve.WithFaultPlan(plan))
 	}
 	if *batch > 0 {
 		// One shared plane per site: feeds micro-batch their I-frames
@@ -143,6 +166,29 @@ func cmdCluster(args []string) {
 		placement[site] = append(placement[site], name)
 	}
 
+	if plan != nil {
+		// A typo'd site or feed name would make the whole script a silent
+		// no-op; fail loudly before the run instead.
+		feedNames := make(map[string]bool)
+		for _, names := range placement {
+			for _, n := range names {
+				feedNames[n] = true
+			}
+		}
+		siteNames := make(map[string]bool)
+		for i := 0; i < *sites; i++ {
+			siteNames[fmt.Sprintf("site%d", i)] = true
+		}
+		for _, ev := range plan.Events() {
+			if !feedNames[ev.Trigger.Feed] {
+				log.Fatalf("fault %q triggers on unknown feed %q (feeds are named cam<N>-<preset>)", ev, ev.Trigger.Feed)
+			}
+			if !siteNames[ev.Site] {
+				log.Fatalf("fault %q targets unknown site %q (sites are named site0..site%d)", ev, ev.Site, *sites-1)
+			}
+		}
+	}
+
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -177,6 +223,18 @@ func cmdCluster(args []string) {
 		inf := st.Inference
 		fmt.Printf("shared inference (batch %d, per site): %d I-frames in %d forward passes — %.2f frames/pass amortised, largest batch %d\n",
 			*batch, inf.Frames, inf.Batches, inf.MeanBatch(), inf.MaxBatch)
+	}
+
+	if *faults != "" {
+		fmt.Printf("faults: %d crash(es), %d recovery(ies), %d feed(s) migrated, %d lost, %d frames replayed, %d delta syncs (%d retries)\n",
+			st.Crashes, st.Recoveries, st.MigratedFeeds, st.LostFeeds, st.ReplayedFrames, st.DeltaSyncs, st.SyncRetries)
+		for _, fo := range st.Failovers {
+			fmt.Printf("  failover: %s  %s -> %s  resumed at frame %d (%d frames replayed)\n",
+				fo.Feed, fo.From, fo.To, fo.ResumeFrame, fo.ReplayedFrames)
+		}
+		for _, d := range st.Degraded {
+			fmt.Printf("  degraded: %s — %s\n", d.Site, d.Reason)
+		}
 	}
 
 	merged, err := c.Merged()

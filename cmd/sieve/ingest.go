@@ -136,30 +136,24 @@ func cmdPush(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var opts []sieve.PusherOption
+	opts := []sieve.PusherOption{
+		sieve.WithPusherBackoff(200*time.Millisecond, 2*time.Second, *retries),
+	}
 	if *name != "" {
 		opts = append(opts, sieve.WithPusherName(*name))
 	}
 	p := sieve.NewPusher(sieve.NewSynthSource(v), opts...)
 
-	ctx := context.Background()
-	for attempt := 0; ; attempt++ {
-		nc, err := net.Dial("tcp", *addr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		err = p.Run(ctx, nc)
-		if err == nil {
-			break
-		}
-		if attempt >= *retries {
-			log.Fatal(err)
-		}
-		fmt.Printf("connection lost (%v), resuming from I-frame %d (attempt %d/%d)\n",
-			err, p.Stats().LastAckedI, attempt+1, *retries)
-		time.Sleep(200 * time.Millisecond)
+	// RunRetry redials through the capped backoff schedule and RESUMEs
+	// from the server's cursor; only consecutive fruitless attempts
+	// count against -retries.
+	var d net.Dialer
+	if err := p.RunRetry(context.Background(), func(ctx context.Context) (net.Conn, error) {
+		return d.DialContext(ctx, "tcp", *addr)
+	}); err != nil {
+		log.Fatal(err)
 	}
 	st := p.Stats()
-	fmt.Printf("pushed %d frames (%d bytes), %d acks, %d reconnects, close %s\n",
-		st.FramesSent, st.BytesSent, st.Acks, st.Reconnects, st.CloseReason)
+	fmt.Printf("pushed %d frames (%d bytes), %d acks, %d connections, %d reconnects, close %s\n",
+		st.FramesSent, st.BytesSent, st.Acks, st.Attempts, st.Reconnects, st.CloseReason)
 }

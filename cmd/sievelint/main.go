@@ -56,11 +56,13 @@ var deterministicPkgs = map[string]bool{
 	"sieve/internal/container":   true,
 	"sieve/internal/des":         true,
 	"sieve/internal/experiments": true, // timing reports flow through the injected clock
+	"sieve/internal/faultplan":   true, // fault triggers are frame counts, never wall time
 	"sieve/internal/frame":       true,
 	"sieve/internal/infer":       true,
 	"sieve/internal/labels":      true,
 	"sieve/internal/nn":          true,
 	"sieve/internal/pipeline":    true, // MeasureCosts times through the injected clock
+	"sieve/internal/retry":       true, // backoff sleeps through the injected Sleeper
 	"sieve/internal/store":       true,
 	"sieve/internal/synth":       true,
 	"sieve/internal/transform":   true,

@@ -71,29 +71,28 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := sieve.NewPusher(sieve.NewSynthSource(v))
-			for {
-				nc, err := net.Dial("tcp", addr)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if flaky {
+			p := sieve.NewPusher(sieve.NewSynthSource(v),
+				sieve.WithPusherBackoff(50*time.Millisecond, 500*time.Millisecond, 5))
+			// RunRetry owns the redial loop: dropped connections RESUME
+			// from the server's cursor after a capped backoff, and only
+			// consecutive fruitless attempts spend the budget.
+			err := p.RunRetry(ctx, func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				nc, err := d.DialContext(ctx, "tcp", addr)
+				if err == nil && flaky {
 					// Enough budget for the handshake plus a few frames.
 					info := v.Spec()
 					flaky = false
 					nc = &flakyConn{Conn: nc, budget: 4 * info.Width * info.Height}
 				}
-				err = p.Run(ctx, nc)
-				if err == nil {
-					st := p.Stats()
-					fmt.Printf("%-16s pushed %2d frames, %d reconnects, close %s\n",
-						v.Spec().Name, st.FramesSent, st.Reconnects, st.CloseReason)
-					return
-				}
-				fmt.Printf("%-16s connection lost, resuming from I-frame %d\n",
-					v.Spec().Name, p.Stats().LastAckedI)
-				time.Sleep(50 * time.Millisecond)
+				return nc, err
+			})
+			if err != nil {
+				log.Fatal(err)
 			}
+			st := p.Stats()
+			fmt.Printf("%-16s pushed %2d frames, %d connections, %d reconnects, close %s\n",
+				v.Spec().Name, st.FramesSent, st.Attempts, st.Reconnects, st.CloseReason)
 		}()
 	}
 	wg.Wait()

@@ -8,7 +8,9 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"sieve/internal/container"
 	"sieve/internal/synth"
@@ -1017,4 +1019,143 @@ func (h *halfConn) Write(p []byte) (int, error) {
 	h.dead = true
 	h.Conn.Close()
 	return 0, net.ErrClosed
+}
+
+// sleepLog is a deterministic Clock that records every backoff delay
+// RunRetry sleeps instead of actually waiting.
+type sleepLog struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func (c *sleepLog) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *sleepLog) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *sleepLog) log() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// TestPusherRunRetryReconnects drives RunRetry over a scripted flaky
+// listener: the first two connections die mid-stream, the third is
+// clean. Each failed connection still made progress (frames or a resume
+// handshake), so the streak resets and every backoff sleep is the base
+// delay; the archived stream must come out byte-identical to an
+// uninterrupted run.
+func TestPusherRunRetryReconnects(t *testing.T) {
+	v := quietScene(t, 12)
+	ln := NewMemListener()
+	lst := NewIngestListener(ln)
+	hub := NewHub(WithListener(lst))
+	errc := startHub(hub)
+
+	spec := v.Spec()
+	frame := wire.FrameBytes(spec.Width, spec.Height) + 13
+	budgets := []int{5*frame + 64, 3*frame + 64} // attempts 1 and 2 die mid-stream
+	dials := 0
+	dial := func(ctx context.Context) (net.Conn, error) {
+		conn, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		if dials < len(budgets) {
+			conn = &halfConn{Conn: conn, budget: budgets[dials]}
+		}
+		dials++
+		return conn, nil
+	}
+
+	clk := &sleepLog{now: time.Unix(0, 0).UTC()}
+	p := NewPusher(NewSynthSource(v), WithPusherName("cam"),
+		WithPusherEncoding(quietParams(v)),
+		WithPusherBackoff(10*time.Millisecond, 80*time.Millisecond, 4),
+		WithPusherClock(clk))
+	if err := p.RunRetry(context.Background(), dial); err != nil {
+		t.Fatalf("RunRetry: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("hub run: %v", err)
+	}
+
+	ps := p.Stats()
+	if ps.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", ps.Attempts)
+	}
+	if ps.Reconnects != 2 {
+		t.Fatalf("Reconnects = %d, want 2", ps.Reconnects)
+	}
+	if ps.CloseReason != "END_OF_STREAM" {
+		t.Fatalf("CloseReason = %q, want END_OF_STREAM", ps.CloseReason)
+	}
+	// Both failed attempts progressed, so the streak never grew past 1:
+	// each reconnect waited exactly the base delay.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}
+	got := clk.log()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slept %v, want %v", got, want)
+		}
+	}
+
+	arch, err := lst.Store().Open("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamEquals(t, arch, encodeBaseline(t, v, quietParams(v)))
+}
+
+// TestPusherRunRetryExhausts pins the reconnect budget: a dial that never
+// succeeds makes no progress, so the streak climbs through the full
+// exponential schedule and RunRetry gives up with ErrRetryExhausted after
+// exactly MaxAttempts tries.
+func TestPusherRunRetryExhausts(t *testing.T) {
+	v := quietScene(t, 4)
+	unreachable := errors.New("connection refused")
+	clk := &sleepLog{now: time.Unix(0, 0).UTC()}
+	p := NewPusher(NewSynthSource(v), WithPusherName("cam"),
+		WithPusherEncoding(quietParams(v)),
+		WithPusherBackoff(10*time.Millisecond, 80*time.Millisecond, 3),
+		WithPusherClock(clk))
+
+	err := p.RunRetry(context.Background(), func(ctx context.Context) (net.Conn, error) {
+		return nil, unreachable
+	})
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("err = %v, want ErrRetryExhausted", err)
+	}
+	if !errors.Is(err, unreachable) {
+		t.Fatalf("err = %v, want it to wrap the last dial error", err)
+	}
+	if ps := p.Stats(); ps.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", ps.Attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	got := clk.log()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slept %v, want %v", got, want)
+		}
+	}
 }

@@ -21,8 +21,13 @@ const (
 	detectionOverheadBytes = 12
 	// statsWireBytes is one shipped SessionStats snapshot.
 	statsWireBytes = 48
-	// reportOverheadBytes is the fixed header of a shard sync.
+	// reportOverheadBytes is the fixed header of a shard sync or delta.
 	reportOverheadBytes = 64
+	// HeartbeatThreshold is how many consecutive missed heartbeats mark a
+	// site suspect. Heartbeats are event-driven (no wall clock): the
+	// failover controller notes silence when it observes other sites make
+	// progress while one stays quiet.
+	HeartbeatThreshold = 3
 )
 
 // DetectionWireBytes models the uplink payload of one shipped detection
@@ -44,7 +49,18 @@ func ShardWireBytes(db *store.ResultsDB) int64 {
 	return n
 }
 
-// Report is the shard-sync record one edge site ships to the cloud when its
+// DeltaWireBytes models the payload of one incremental shard delta: its
+// entries at detection wire size plus the framing header carrying the
+// cursor pair.
+func DeltaWireBytes(d store.Delta) int64 {
+	n := int64(reportOverheadBytes)
+	for _, e := range d.Entries {
+		n += DetectionWireBytes(e.Camera, e.Labels)
+	}
+	return n
+}
+
+// Report is the end-of-run record one edge site ships to the cloud when its
 // feeds finish: its results-database shard plus its final counters.
 type Report struct {
 	Site         string
@@ -55,21 +71,45 @@ type Report struct {
 	PayloadBytes int64
 }
 
+// DegradedSite marks a site whose contribution to the merged view is
+// incomplete or stale — the explicit alternative to silently short counts.
+type DegradedSite struct {
+	Site   string
+	Reason string
+}
+
 // Coordinator is the cloud side of the cluster (the "results database" box
 // of Figure 1, scaled out): it meters everything the edge sites ship over
-// their uplinks and merges the per-site ResultsDB shards into one
+// their uplinks, maintains a per-site shadow replica fed by streaming
+// deltas (so the global view is queryable mid-run), tracks site liveness
+// via missed-heartbeat counters, and merges the shards into one
 // conflict-checked global view that serves cross-camera queries.
 type Coordinator struct {
 	topo *Topology
 
-	mu      sync.Mutex
-	reports map[string]Report
-	merged  *store.ResultsDB
+	mu       sync.Mutex
+	expected map[string]bool
+	reports  map[string]Report
+	// replicas are the cloud-side shadow shards, built exclusively from
+	// ApplyDelta — each replica's Version is the site's sync cursor.
+	replicas map[string]*store.ResultsDB
+	beats    map[string]int64
+	missed   map[string]int
+	degraded map[string]string
+	merged   *store.ResultsDB
 }
 
 // NewCoordinator builds a coordinator over the given star topology.
 func NewCoordinator(topo *Topology) *Coordinator {
-	return &Coordinator{topo: topo, reports: make(map[string]Report)}
+	return &Coordinator{
+		topo:     topo,
+		expected: make(map[string]bool),
+		reports:  make(map[string]Report),
+		replicas: make(map[string]*store.ResultsDB),
+		beats:    make(map[string]int64),
+		missed:   make(map[string]int),
+		degraded: make(map[string]string),
+	}
 }
 
 func (c *Coordinator) uplink(site string) (*simnet.Link, error) {
@@ -80,32 +120,183 @@ func (c *Coordinator) uplink(site string) (*simnet.Link, error) {
 	return l, nil
 }
 
+// Register declares a site the merged view is expected to cover. MergeAll
+// marks any registered site that never delivered a final report as
+// degraded instead of silently under-reporting.
+func (c *Coordinator) Register(site string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expected[site] = true
+	if _, ok := c.replicas[site]; !ok {
+		c.replicas[site] = store.NewResultsDB()
+	}
+}
+
 // ShipDetection accounts one detection record crossing a site's uplink
 // during the run (the streaming plane: I-frame results flow upstream as
-// they are produced).
+// they are produced). While the uplink is partitioned the record is
+// dropped — the reliable channel is the delta sync, which retries.
 func (c *Coordinator) ShipDetection(site, camera string, ls labels.Set) error {
 	l, err := c.uplink(site)
 	if err != nil {
 		return err
 	}
-	l.Send(DetectionWireBytes(camera, ls))
+	_, _ = l.TrySend(DetectionWireBytes(camera, ls))
 	return nil
 }
 
-// ShipStats accounts one stats snapshot crossing a site's uplink.
+// ShipStats accounts one stats snapshot crossing a site's uplink (dropped,
+// not queued, while the uplink is down).
 func (c *Coordinator) ShipStats(site string) error {
 	l, err := c.uplink(site)
 	if err != nil {
 		return err
 	}
-	l.Send(statsWireBytes)
+	_, _ = l.TrySend(statsWireBytes)
 	return nil
 }
 
-// Submit records a site's final shard report, accounting the full shard
-// sync on the site's uplink (the control plane: a durable end-of-run sync,
-// redundant with the streamed detections by design — the merge is what gets
-// conflict-checked). Each site may submit once.
+// SyncCursor returns the coordinator's replication cursor for a site: the
+// version its next delta must start from.
+func (c *Coordinator) SyncCursor(site string) int64 {
+	c.mu.Lock()
+	r, ok := c.replicas[site]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return r.Version()
+}
+
+// ShipDelta transfers one incremental shard delta over the site's uplink
+// and applies it to the site's shadow replica. A partitioned uplink fails
+// the ship (simnet.ErrLinkDown) without applying anything — the site
+// retries from its unchanged cursor. Duplicate and overlapping
+// retransmissions are absorbed idempotently by the replica.
+func (c *Coordinator) ShipDelta(site string, d store.Delta) error {
+	l, err := c.uplink(site)
+	if err != nil {
+		return err
+	}
+	if _, err := l.TrySend(DeltaWireBytes(d)); err != nil {
+		return fmt.Errorf("cluster: delta sync %s: %w", site, err)
+	}
+	c.mu.Lock()
+	r, ok := c.replicas[site]
+	if !ok {
+		r = store.NewResultsDB()
+		c.replicas[site] = r
+	}
+	c.mu.Unlock()
+	if err := r.ApplyDelta(d); err != nil {
+		return fmt.Errorf("cluster: delta sync %s: %w", site, err)
+	}
+	return nil
+}
+
+// Heartbeat records liveness for a site, resetting its missed counter.
+func (c *Coordinator) Heartbeat(site string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beats[site]++
+	c.missed[site] = 0
+}
+
+// NoteSilence increments a site's missed-heartbeat counter (called when
+// other sites make progress while this one stays quiet — an event-count
+// notion of time, deterministic under a virtual clock) and returns the new
+// count.
+func (c *Coordinator) NoteSilence(site string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.missed[site]++
+	return c.missed[site]
+}
+
+// SuspectDead reports whether a site has missed HeartbeatThreshold or more
+// consecutive heartbeats.
+func (c *Coordinator) SuspectDead(site string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.missed[site] >= HeartbeatThreshold
+}
+
+// MarkDegraded records that a site's contribution to the merged view is
+// incomplete or stale. Later marks for the same site overwrite earlier
+// ones (the freshest reason wins).
+func (c *Coordinator) MarkDegraded(site, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degraded[site] = reason
+}
+
+// ClearDegraded removes a site's degraded marker (its link healed and the
+// backlog flushed).
+func (c *Coordinator) ClearDegraded(site string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.degraded, site)
+}
+
+// Degraded returns the degraded-site markers sorted by site name. A
+// non-empty result means counts derived from the merged view are lower
+// bounds, not totals.
+func (c *Coordinator) Degraded() []DegradedSite {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DegradedSite, 0, len(c.degraded))
+	for s, r := range c.degraded {
+		out = append(out, DegradedSite{Site: s, Reason: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// AppliedFrame returns the highest frame ID the cloud replicas hold for a
+// camera across every site (-1 when none) — the applied cursor the
+// failover controller feeds to EdgeStore.ResumePoint when migrating the
+// camera's feed.
+func (c *Coordinator) AppliedFrame(camera string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := -1
+	for _, r := range c.replicas {
+		if m := r.MaxFrame(camera); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// View merges the current shadow replicas into a fresh snapshot — the
+// continuously queryable mid-run view. Under partition a site's replica is
+// stale but never torn: deltas apply atomically, so the view lags by whole
+// deltas. Conflicts across replicas surface as errors exactly as in
+// MergeAll.
+func (c *Coordinator) View() (*store.ResultsDB, error) {
+	c.mu.Lock()
+	sites := make([]string, 0, len(c.replicas))
+	reps := make(map[string]*store.ResultsDB, len(c.replicas))
+	for s, r := range c.replicas {
+		sites = append(sites, s)
+		reps[s] = r
+	}
+	c.mu.Unlock()
+	sort.Strings(sites)
+	view := store.NewResultsDB()
+	for _, s := range sites {
+		if err := view.Merge(reps[s]); err != nil {
+			return nil, fmt.Errorf("cluster: view merging replica of site %s: %w", s, err)
+		}
+	}
+	return view, nil
+}
+
+// Submit records a site's final report, accounting the sync header on the
+// site's uplink (the shard entries themselves have already crossed as
+// streaming deltas; Submit is the durable end-of-run manifest). Each site
+// may submit once; a partitioned uplink fails the submit, leaving the site
+// to be marked degraded.
 func (c *Coordinator) Submit(rep Report) error {
 	l, err := c.uplink(rep.Site)
 	if err != nil {
@@ -115,12 +306,17 @@ func (c *Coordinator) Submit(rep Report) error {
 		return fmt.Errorf("cluster: site %q submitted a nil shard", rep.Site)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.reports[rep.Site]; dup {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: site %q submitted twice", rep.Site)
 	}
+	c.mu.Unlock()
+	if _, err := l.TrySend(reportOverheadBytes); err != nil {
+		return fmt.Errorf("cluster: submit %s: %w", rep.Site, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.reports[rep.Site] = rep
-	l.Send(ShardWireBytes(rep.Shard))
 	return nil
 }
 
@@ -136,17 +332,59 @@ func (c *Coordinator) Reports() []Report {
 	return out
 }
 
-// MergeAll folds every submitted shard into a fresh global ResultsDB, in
+// MergeAll folds every site's shard into a fresh global ResultsDB, in
 // sorted site order so the outcome (and any reported conflict) never
-// depends on submission scheduling. On a conflict the merged view built so
-// far is discarded and the error names the offending (camera, frame). The
-// merged database is retained for Merged/Query/Track.
+// depends on submission scheduling. Sites that submitted a final report
+// contribute their authoritative shard; a registered site that never
+// submitted (it crashed, or its uplink stayed partitioned) contributes
+// whatever its streamed replica holds and gains an explicit degraded
+// marker — the merged view is stale-but-consistent, never silently short
+// without saying so. On a conflict the merged view built so far is
+// discarded and the error names the offending (camera, frame). The merged
+// database is retained for Merged/Query/Track.
 func (c *Coordinator) MergeAll() (*store.ResultsDB, error) {
-	merged := store.NewResultsDB()
-	for _, rep := range c.Reports() {
-		if err := merged.Merge(rep.Shard); err != nil {
-			return nil, fmt.Errorf("cluster: merging shard of site %s: %w", rep.Site, err)
+	c.mu.Lock()
+	sites := make(map[string]bool, len(c.expected))
+	for s := range c.expected {
+		sites[s] = true
+	}
+	for s := range c.reports {
+		sites[s] = true
+	}
+	for s := range c.replicas {
+		if c.replicas[s].Version() > 0 {
+			sites[s] = true
 		}
+	}
+	order := make([]string, 0, len(sites))
+	for s := range sites {
+		order = append(order, s)
+	}
+	sort.Strings(order)
+	shards := make(map[string]*store.ResultsDB, len(order))
+	var missing []string
+	for _, s := range order {
+		if rep, ok := c.reports[s]; ok {
+			shards[s] = rep.Shard
+		} else {
+			shards[s] = c.replicas[s] // may be nil for an expected, silent site
+			missing = append(missing, s)
+		}
+	}
+	c.mu.Unlock()
+
+	merged := store.NewResultsDB()
+	for _, s := range order {
+		if err := merged.Merge(shards[s]); err != nil {
+			return nil, fmt.Errorf("cluster: merging shard of site %s: %w", s, err)
+		}
+	}
+	for _, s := range missing {
+		var cursor int64
+		if shards[s] != nil {
+			cursor = shards[s].Version()
+		}
+		c.MarkDegraded(s, fmt.Sprintf("no final report; merged streamed replica at cursor %d", cursor))
 	}
 	c.mu.Lock()
 	c.merged = merged

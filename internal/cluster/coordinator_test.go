@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sieve/internal/labels"
+	"sieve/internal/simnet"
 	"sieve/internal/store"
 )
 
@@ -139,13 +140,196 @@ func TestCoordinatorMergeAllDisjointShards(t *testing.T) {
 	if c.Merged() != merged {
 		t.Fatal("Merged() does not return the MergeAll result")
 	}
-	// The shard sync itself was metered.
+	// The submit manifest was metered (the shard entries travel as deltas).
 	b, _, _, err := c.UplinkStats("site0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b != ShardWireBytes(shard0) {
-		t.Fatalf("site0 uplink = %d bytes, want shard sync %d", b, ShardWireBytes(shard0))
+	if b != reportOverheadBytes {
+		t.Fatalf("site0 uplink = %d bytes, want submit header %d", b, int64(reportOverheadBytes))
+	}
+	// Both sites reported, so nothing is degraded.
+	if deg := c.Degraded(); len(deg) != 0 {
+		t.Fatalf("Degraded = %v", deg)
+	}
+}
+
+func TestCoordinatorDeltaSync(t *testing.T) {
+	topo := testTopo(t, "site0")
+	c := NewCoordinator(topo)
+	c.Register("site0")
+
+	shard := store.NewResultsDB()
+	shard.Put("cam0", 0, labels.NewSet("car"))
+	shard.Put("cam0", 4, labels.NewSet("bus"))
+
+	if got := c.SyncCursor("site0"); got != 0 {
+		t.Fatalf("initial SyncCursor = %d", got)
+	}
+	d, err := shard.DeltaSince(c.SyncCursor("site0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShipDelta("site0", d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SyncCursor("site0"); got != 2 {
+		t.Fatalf("SyncCursor after delta = %d, want 2", got)
+	}
+	// The delta was metered on the uplink.
+	b, _, _, _ := c.UplinkStats("site0")
+	if b != DeltaWireBytes(d) {
+		t.Fatalf("uplink = %d bytes, want %d", b, DeltaWireBytes(d))
+	}
+	// Mid-run view serves queries before any MergeAll.
+	view, err := c.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 2 {
+		t.Fatalf("View entries = %d, want 2", view.Len())
+	}
+	if got := c.AppliedFrame("cam0"); got != 4 {
+		t.Fatalf("AppliedFrame = %d, want 4", got)
+	}
+	if got := c.AppliedFrame("ghost"); got != -1 {
+		t.Fatalf("AppliedFrame(ghost) = %d, want -1", got)
+	}
+
+	// Partition the uplink: the ship fails, the cursor does not advance.
+	shard.Put("cam0", 8, labels.NewSet("car"))
+	l, _ := topo.Uplink("site0")
+	l.Fail()
+	d2, _ := shard.DeltaSince(c.SyncCursor("site0"))
+	if err := c.ShipDelta("site0", d2); !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("ShipDelta over dead link = %v, want ErrLinkDown", err)
+	}
+	if got := c.SyncCursor("site0"); got != 2 {
+		t.Fatalf("cursor advanced over a dead link: %d", got)
+	}
+	// Heal and retry the identical delta: applies exactly once.
+	l.Heal()
+	if err := c.ShipDelta("site0", d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShipDelta("site0", d2); err != nil {
+		t.Fatalf("idempotent retransmission rejected: %v", err)
+	}
+	if got := c.SyncCursor("site0"); got != 3 {
+		t.Fatalf("SyncCursor = %d, want 3", got)
+	}
+}
+
+// TestCoordinatorPartialMergeDegrades pins the partial-shard-set contract:
+// a registered site that never submits its final report must surface as an
+// explicit degraded marker on the merged view — its streamed replica is
+// merged (stale-but-consistent), never silently dropped.
+func TestCoordinatorPartialMergeDegrades(t *testing.T) {
+	topo := testTopo(t, "site0", "site1")
+	c := NewCoordinator(topo)
+	c.Register("site0")
+	c.Register("site1")
+
+	shard0 := store.NewResultsDB()
+	shard0.Put("cam0", 0, labels.NewSet("car"))
+	shard1 := store.NewResultsDB()
+	shard1.Put("cam1", 0, labels.NewSet("bus"))
+	shard1.Put("cam1", 5, labels.NewSet("bus"))
+
+	// site0 completes normally; site1 streams one delta, then dies before
+	// its second delta and final report.
+	if err := c.Submit(Report{Site: "site0", Shard: shard0}); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := shard1.DeltaSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial.To = 1
+	partial.Entries = partial.Entries[:1]
+	if err := c.ShipDelta("site1", partial); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := c.MergeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged view has site0's shard plus site1's streamed prefix.
+	if merged.Len() != 2 {
+		t.Fatalf("merged entries = %d, want 2", merged.Len())
+	}
+	if _, ok := merged.Get("cam1", 0); !ok {
+		t.Fatal("streamed replica entry missing from merged view")
+	}
+	if _, ok := merged.Get("cam1", 5); ok {
+		t.Fatal("unsynced entry appeared in merged view")
+	}
+	deg := c.Degraded()
+	if len(deg) != 1 || deg[0].Site != "site1" {
+		t.Fatalf("Degraded = %+v, want exactly site1", deg)
+	}
+	if !strings.Contains(deg[0].Reason, "cursor 1") {
+		t.Fatalf("degraded reason does not carry the replica cursor: %q", deg[0].Reason)
+	}
+	// Recovery: the late report arrives, the marker clears on re-merge.
+	if err := c.Submit(Report{Site: "site1", Shard: shard1}); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearDegraded("site1")
+	merged, err = c.MergeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("re-merged entries = %d, want 3", merged.Len())
+	}
+	if deg := c.Degraded(); len(deg) != 0 {
+		t.Fatalf("Degraded after recovery = %+v", deg)
+	}
+}
+
+func TestCoordinatorHeartbeats(t *testing.T) {
+	c := NewCoordinator(testTopo(t, "site0"))
+	c.Register("site0")
+	if c.SuspectDead("site0") {
+		t.Fatal("fresh site suspect")
+	}
+	for i := 1; i < HeartbeatThreshold; i++ {
+		if n := c.NoteSilence("site0"); n != i {
+			t.Fatalf("NoteSilence #%d = %d", i, n)
+		}
+		if c.SuspectDead("site0") {
+			t.Fatalf("suspect after %d misses (threshold %d)", i, HeartbeatThreshold)
+		}
+	}
+	c.NoteSilence("site0")
+	if !c.SuspectDead("site0") {
+		t.Fatal("not suspect at threshold")
+	}
+	// A heartbeat clears the counter.
+	c.Heartbeat("site0")
+	if c.SuspectDead("site0") {
+		t.Fatal("suspect after heartbeat")
+	}
+}
+
+func TestCoordinatorSubmitOverDeadLink(t *testing.T) {
+	topo := testTopo(t, "site0")
+	c := NewCoordinator(topo)
+	l, _ := topo.Uplink("site0")
+	l.Fail()
+	shard := store.NewResultsDB()
+	if err := c.Submit(Report{Site: "site0", Shard: shard}); !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("Submit over dead link = %v, want ErrLinkDown", err)
+	}
+	if reps := c.Reports(); len(reps) != 0 {
+		t.Fatalf("failed submit was recorded: %+v", reps)
+	}
+	// After healing the same submit succeeds.
+	l.Heal()
+	if err := c.Submit(Report{Site: "site0", Shard: shard}); err != nil {
+		t.Fatal(err)
 	}
 }
 

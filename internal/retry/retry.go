@@ -1,0 +1,94 @@
+// Package retry provides the deterministic exponential-backoff schedule
+// used by every reconnect/resync loop in the repo (Pusher reconnects,
+// cluster delta sync). The schedule is jitter-free on purpose: sleeps go
+// through an injectable clock, so a VirtualClock replay produces the exact
+// same attempt timeline every run — randomised jitter would break the
+// byte-identical event-log contract for no benefit in a simulated fabric.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrAttemptsExhausted is returned by Do when every allowed attempt failed.
+// The last attempt's error is joined so callers can inspect the root cause.
+var ErrAttemptsExhausted = errors.New("retry: attempts exhausted")
+
+// Sleeper is the clock dependency: Sleep blocks for d (or advances a
+// virtual clock) and returns the context error on cancellation. The root
+// package's Clock satisfies it.
+type Sleeper interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Backoff is a deterministic exponential schedule: attempt i (0-based)
+// waits Base·Factor^i before running, capped at Max. The zero value is
+// unusable; use a literal with at least Base and MaxAttempts set.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 1). Attempt 0 runs
+	// immediately.
+	Base time.Duration
+	// Max caps the per-attempt delay; 0 means uncapped.
+	Max time.Duration
+	// Factor multiplies the delay each attempt; values < 2 are treated
+	// as 2 (the conventional doubling schedule) unless exactly 1, which
+	// gives constant delay.
+	Factor float64
+	// MaxAttempts bounds the total number of tries (including the first);
+	// values < 1 are treated as 1.
+	MaxAttempts int
+}
+
+// Delay returns the wait before the given 0-based attempt. Attempt 0 has no
+// delay; attempt i ≥ 1 waits Base·Factor^(i−1), capped at Max. The schedule
+// is a pure function of (Backoff, attempt) — no randomness, no wall clock.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt <= 0 || b.Base <= 0 {
+		return 0
+	}
+	f := b.Factor
+	if f != 1 && f < 2 {
+		f = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= f
+		if b.Max > 0 && d >= float64(b.Max) {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && time.Duration(d) > b.Max {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn until it succeeds, the schedule is exhausted, or ctx is
+// cancelled, sleeping the schedule's delay on clk between attempts. It
+// returns the number of attempts made and nil on success; on exhaustion it
+// returns ErrAttemptsExhausted joined with the last attempt's error, and on
+// cancellation the context error joined likewise.
+func Do(ctx context.Context, clk Sleeper, b Backoff, fn func() error) (attempts int, err error) {
+	max := b.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var last error
+	for i := 0; i < max; i++ {
+		if d := b.Delay(i); d > 0 {
+			if serr := clk.Sleep(ctx, d); serr != nil {
+				return i, errors.Join(serr, last)
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return i, errors.Join(cerr, last)
+		}
+		attempts = i + 1
+		last = fn()
+		if last == nil {
+			return attempts, nil
+		}
+	}
+	return attempts, errors.Join(ErrAttemptsExhausted, last)
+}

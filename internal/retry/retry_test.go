@@ -1,0 +1,125 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingSleeper logs each requested sleep without blocking — the
+// VirtualClock stand-in for schedule assertions.
+type recordingSleeper struct {
+	slept []time.Duration
+	fail  error // returned instead of sleeping when set
+}
+
+func (s *recordingSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	s.slept = append(s.slept, d)
+	return nil
+}
+
+func TestDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, MaxAttempts: 8}
+	want := []time.Duration{
+		0,
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := b.Delay(i); d != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, d, w)
+		}
+	}
+	// Determinism: the schedule is a pure function — same inputs, same
+	// delays on every call.
+	for i := range want {
+		if b.Delay(i) != b.Delay(i) {
+			t.Fatalf("Delay(%d) not stable", i)
+		}
+	}
+}
+
+func TestDelayConstantFactor(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Factor: 1}
+	for i := 1; i < 5; i++ {
+		if d := b.Delay(i); d != 5*time.Millisecond {
+			t.Fatalf("constant Delay(%d) = %v", i, d)
+		}
+	}
+	// Sub-2 factors other than exactly 1 snap to doubling.
+	b2 := Backoff{Base: 5 * time.Millisecond, Factor: 1.5}
+	if d := b2.Delay(2); d != 10*time.Millisecond {
+		t.Fatalf("snapped Delay(2) = %v, want 10ms", d)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	s := &recordingSleeper{}
+	calls := 0
+	attempts, err := Do(context.Background(), s, Backoff{Base: time.Millisecond, Factor: 2, MaxAttempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("Do = (%d, %v), want (3, nil)", attempts, err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(s.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", s.slept, want)
+	}
+	for i := range want {
+		if s.slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, s.slept[i], want[i])
+		}
+	}
+}
+
+func TestDoExhausts(t *testing.T) {
+	s := &recordingSleeper{}
+	boom := errors.New("boom")
+	attempts, err := Do(context.Background(), s, Backoff{Base: time.Millisecond, MaxAttempts: 3}, func() error { return boom })
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted joined with boom", err)
+	}
+}
+
+func TestDoCancelledDuringSleep(t *testing.T) {
+	s := &recordingSleeper{fail: context.Canceled}
+	attempts, err := Do(context.Background(), s, Backoff{Base: time.Millisecond, MaxAttempts: 3}, func() error { return errors.New("x") })
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancelled before retry)", attempts)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := Do(ctx, &recordingSleeper{}, Backoff{Base: time.Millisecond, MaxAttempts: 3}, func() error { return nil })
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do on cancelled ctx = (%d, %v)", attempts, err)
+	}
+}
+
+func TestDoMinimumOneAttempt(t *testing.T) {
+	attempts, err := Do(context.Background(), &recordingSleeper{}, Backoff{}, func() error { return nil })
+	if attempts != 1 || err != nil {
+		t.Fatalf("Do with zero Backoff = (%d, %v), want (1, nil)", attempts, err)
+	}
+}

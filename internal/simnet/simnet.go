@@ -9,10 +9,14 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrLinkDown is returned by TrySend while a link is failed (see Link.Fail).
+var ErrLinkDown = errors.New("simnet: link down")
 
 // Mode selects whether a link sleeps for transfer time or only accounts it.
 type Mode int
@@ -39,6 +43,12 @@ type Link struct {
 	bytes     int64
 	transfers int64
 	busy      time.Duration
+	// down models a hard partition: TrySend refuses and counts a drop.
+	down  bool
+	drops int64
+	// degrade divides the effective bandwidth while > 1 (slow WAN, not a
+	// partition). 0 or 1 means full rate.
+	degrade float64
 }
 
 // NewLink builds a link. bandwidthBps is in bits per second and must be
@@ -77,17 +87,48 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) Bandwidth() float64 { return l.bandwidthBps }
 
 // TransferTime returns the modelled duration for n bytes (serialisation +
-// propagation).
+// propagation) at the link's current effective bandwidth, which a Degrade
+// in force divides.
 func (l *Link) TransferTime(n int64) time.Duration {
-	ser := time.Duration(float64(n*8) / l.bandwidthBps * float64(time.Second))
+	l.mu.Lock()
+	bps := l.effectiveBps()
+	l.mu.Unlock()
+	ser := time.Duration(float64(n*8) / bps * float64(time.Second))
 	return ser + l.latency
 }
 
+// effectiveBps returns the bandwidth after degradation; callers hold l.mu.
+func (l *Link) effectiveBps() float64 {
+	if l.degrade > 1 {
+		return l.bandwidthBps / l.degrade
+	}
+	return l.bandwidthBps
+}
+
 // Send accounts (and in Paced mode, waits for) the transfer of n bytes,
-// returning the modelled duration.
+// returning the modelled duration. Send never refuses — callers that model
+// partitions use TrySend; Send exists for legacy metering paths that assume
+// an always-up fabric.
 func (l *Link) Send(n int64) time.Duration {
-	d := l.TransferTime(n)
+	d, _ := l.send(n, false)
+	return d
+}
+
+// TrySend is Send for failure-aware callers: while the link is down it
+// transfers nothing, counts a drop and returns ErrLinkDown.
+func (l *Link) TrySend(n int64) (time.Duration, error) {
+	return l.send(n, true)
+}
+
+func (l *Link) send(n int64, failable bool) (time.Duration, error) {
 	l.mu.Lock()
+	if failable && l.down {
+		l.drops++
+		l.mu.Unlock()
+		return 0, ErrLinkDown
+	}
+	ser := time.Duration(float64(n*8) / l.effectiveBps() * float64(time.Second))
+	d := ser + l.latency
 	l.bytes += n
 	l.transfers++
 	l.busy += d
@@ -96,7 +137,59 @@ func (l *Link) Send(n int64) time.Duration {
 	if mode == Paced {
 		time.Sleep(time.Duration(float64(d) / scale))
 	}
-	return d
+	return d, nil
+}
+
+// Fail partitions the link: subsequent TrySend calls return ErrLinkDown
+// until Heal. Idempotent.
+func (l *Link) Fail() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = true
+}
+
+// Heal restores a failed link. Idempotent; a Degrade in force survives a
+// Fail/Heal cycle (a partition and a slow WAN are independent conditions).
+func (l *Link) Heal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = false
+}
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// Degrade divides the link's effective bandwidth by factor (>= 1) until the
+// next Degrade call; Degrade(1) restores full rate. Factors below 1 are
+// clamped to 1 — a fault can only slow a link, never overclock it.
+func (l *Link) Degrade(factor float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if factor < 1 {
+		factor = 1
+	}
+	l.degrade = factor
+}
+
+// Degraded returns the current degradation factor (1 when at full rate).
+func (l *Link) Degraded() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.degrade > 1 {
+		return l.degrade
+	}
+	return 1
+}
+
+// Drops returns the number of TrySend calls refused while the link was down.
+func (l *Link) Drops() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops
 }
 
 // Stats reports the accumulated transfer accounting.
@@ -106,11 +199,12 @@ func (l *Link) Stats() (bytes, transfers int64, busy time.Duration) {
 	return l.bytes, l.transfers, l.busy
 }
 
-// Reset clears the accounting counters.
+// Reset clears the accounting counters (including drops); the fault state
+// itself — down flag and degradation — is left as-is.
 func (l *Link) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.bytes, l.transfers, l.busy = 0, 0, 0
+	l.bytes, l.transfers, l.busy, l.drops = 0, 0, 0, 0
 }
 
 // Topology is the paper's 3-tier fabric: camera→edge (LAN) and edge→cloud

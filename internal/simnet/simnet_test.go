@@ -102,3 +102,99 @@ func TestPaperTopology(t *testing.T) {
 		t.Fatalf("paper-scale upload = %v, want ~54 min", d)
 	}
 }
+
+func TestFailHealTrySend(t *testing.T) {
+	l, err := NewLink("fault", 8e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Down() {
+		t.Fatal("new link reports down")
+	}
+	if _, err := l.TrySend(1000); err != nil {
+		t.Fatalf("TrySend on healthy link: %v", err)
+	}
+	l.Fail()
+	if !l.Down() {
+		t.Fatal("Fail did not mark the link down")
+	}
+	if _, err := l.TrySend(1000); err != ErrLinkDown {
+		t.Fatalf("TrySend on failed link = %v, want ErrLinkDown", err)
+	}
+	if _, err := l.TrySend(1000); err != ErrLinkDown {
+		t.Fatalf("second TrySend on failed link = %v, want ErrLinkDown", err)
+	}
+	if d := l.Drops(); d != 2 {
+		t.Fatalf("Drops = %d, want 2", d)
+	}
+	// A dropped send must not meter bytes: only the pre-Fail transfer counts.
+	bytes, transfers, _ := l.Stats()
+	if bytes != 1000 || transfers != 1 {
+		t.Fatalf("failed sends metered: bytes=%d transfers=%d", bytes, transfers)
+	}
+	l.Heal()
+	if l.Down() {
+		t.Fatal("Heal did not clear the down flag")
+	}
+	if _, err := l.TrySend(500); err != nil {
+		t.Fatalf("TrySend after Heal: %v", err)
+	}
+	// Legacy Send keeps working even while down (pure metering path).
+	l.Fail()
+	if d := l.Send(100); d <= 0 {
+		t.Fatalf("Send while down returned %v", d)
+	}
+}
+
+func TestDegradeScalesTransferTime(t *testing.T) {
+	l, err := NewLink("slow", 8e6, 0) // 1 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := l.TransferTime(1_000_000)
+	if base != time.Second {
+		t.Fatalf("baseline transfer = %v, want 1s", base)
+	}
+	l.Degrade(4)
+	if g := l.Degraded(); g != 4 {
+		t.Fatalf("Degraded = %v, want 4", g)
+	}
+	if d := l.TransferTime(1_000_000); d != 4*time.Second {
+		t.Fatalf("degraded transfer = %v, want 4s", d)
+	}
+	if d, err := l.TrySend(1_000_000); err != nil || d != 4*time.Second {
+		t.Fatalf("degraded TrySend = (%v, %v), want (4s, nil)", d, err)
+	}
+	l.Degrade(1)
+	if d := l.TransferTime(1_000_000); d != time.Second {
+		t.Fatalf("restored transfer = %v, want 1s", d)
+	}
+	// Factors below 1 clamp: a fault can't make the link faster.
+	l.Degrade(0.25)
+	if d := l.TransferTime(1_000_000); d != time.Second {
+		t.Fatalf("sub-1 degrade changed rate: %v", d)
+	}
+	// Degradation survives a Fail/Heal cycle.
+	l.Degrade(2)
+	l.Fail()
+	l.Heal()
+	if g := l.Degraded(); g != 2 {
+		t.Fatalf("Degraded after Fail/Heal = %v, want 2", g)
+	}
+}
+
+func TestResetClearsDrops(t *testing.T) {
+	l, err := NewLink("drops", 8e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Fail()
+	l.TrySend(1)
+	l.Reset()
+	if d := l.Drops(); d != 0 {
+		t.Fatalf("Drops after Reset = %d", d)
+	}
+	if !l.Down() {
+		t.Fatal("Reset cleared the fault state; it should only clear counters")
+	}
+}

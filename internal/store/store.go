@@ -20,10 +20,19 @@ import (
 // ResultsDB is the cloud-side store of inference results: "a list of tuples
 // where each tuple consists of frame ID and the object names that appear in
 // the frame". It is safe for concurrent use.
+//
+// Every Put is also appended to an ordered change log, which is what the
+// cluster's streaming shard sync ships over the uplink: DeltaSince cuts a
+// contiguous slice of the log, ApplyDelta replays it into a shadow replica
+// with cursor validation. Version() — the log length — is the replication
+// cursor.
 type ResultsDB struct {
 	mu sync.RWMutex
 	// byCamera[camera][frame] = labels
 	byCamera map[string]map[int]labels.Set
+	// log records every Put in order; log[i] is change i and Version()
+	// (== len(log)) is the next cursor.
+	log []DeltaEntry
 }
 
 // NewResultsDB returns an empty database.
@@ -35,12 +44,18 @@ func NewResultsDB() *ResultsDB {
 func (db *ResultsDB) Put(camera string, frameID int, ls labels.Set) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.put(camera, frameID, ls)
+}
+
+// put applies and logs one change; callers hold db.mu.
+func (db *ResultsDB) put(camera string, frameID int, ls labels.Set) {
 	m, ok := db.byCamera[camera]
 	if !ok {
 		m = make(map[int]labels.Set)
 		db.byCamera[camera] = m
 	}
 	m[frameID] = ls
+	db.log = append(db.log, DeltaEntry{Camera: camera, Frame: frameID, Labels: ls})
 }
 
 // Get returns the labels stored for an exact frame.
@@ -215,18 +230,110 @@ func (db *ResultsDB) Merge(other *ResultsDB) error {
 			}
 		}
 	}
-	// Phase 2: apply.
-	for cam, fm := range in {
-		have, ok := db.byCamera[cam]
-		if !ok {
-			have = make(map[int]labels.Set, len(fm))
-			db.byCamera[cam] = have
+	// Phase 2: apply, in sorted order so the change log stays deterministic
+	// (a merge is logged like any other sequence of Puts).
+	for _, cam := range cams {
+		fm := in[cam]
+		ids := make([]int, 0, len(fm))
+		for id := range fm {
+			ids = append(ids, id)
 		}
-		for id, ls := range fm {
-			have[id] = ls
+		sort.Ints(ids)
+		for _, id := range ids {
+			db.put(cam, id, fm[id])
 		}
 	}
 	return nil
+}
+
+// DeltaEntry is one logged Put.
+type DeltaEntry struct {
+	Camera string
+	Frame  int
+	Labels labels.Set
+}
+
+// Delta is a contiguous slice of a database's change log covering cursors
+// [From, To): applying it to a replica at cursor From brings the replica to
+// cursor To.
+type Delta struct {
+	From, To int64
+	Entries  []DeltaEntry
+}
+
+// Version returns the database's replication cursor: the number of changes
+// logged so far. A replica built purely from ApplyDelta has the same
+// Version as the span of deltas it has absorbed.
+func (db *ResultsDB) Version() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return int64(len(db.log))
+}
+
+// ErrDeltaCursor reports a DeltaSince/ApplyDelta cursor outside the valid
+// range — the replica and the source have diverged and need a full resync.
+var ErrDeltaCursor = fmt.Errorf("store: delta cursor out of range")
+
+// DeltaSince cuts the change log from cursor `from` to the current version.
+// The returned entries alias the log (label sets are immutable), so the
+// delta is cheap and safe to ship. from == Version() yields an empty delta.
+func (db *ResultsDB) DeltaSince(from int64) (Delta, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	to := int64(len(db.log))
+	if from < 0 || from > to {
+		return Delta{}, fmt.Errorf("%w: from %d, log [0,%d]", ErrDeltaCursor, from, to)
+	}
+	return Delta{From: from, To: to, Entries: db.log[from:to]}, nil
+}
+
+// ApplyDelta replays a delta into db, which must be a replica at cursor
+// d.From or beyond:
+//
+//   - d.From == Version(): the common case; every entry applies.
+//   - d.To <= Version(): a duplicate retransmission; no-op.
+//   - d.From < Version() < d.To: an overlapping retransmission (the sender
+//     retried after a partial apply was acknowledged lost); only the unseen
+//     suffix applies.
+//   - d.From > Version(): a gap — the replica missed a delta. Nothing is
+//     applied and ErrDeltaCursor is returned; the caller must resync from
+//     its actual cursor.
+//
+// Idempotency under retransmission is what lets the delta-sync retry loop
+// resend without double-counting.
+func (db *ResultsDB) ApplyDelta(d Delta) error {
+	if d.To-d.From != int64(len(d.Entries)) {
+		return fmt.Errorf("%w: span [%d,%d) carries %d entries", ErrDeltaCursor, d.From, d.To, len(d.Entries))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := int64(len(db.log))
+	if d.From > v {
+		return fmt.Errorf("%w: delta starts at %d, replica at %d", ErrDeltaCursor, d.From, v)
+	}
+	if d.To <= v {
+		return nil
+	}
+	for _, e := range d.Entries[v-d.From:] {
+		db.put(e.Camera, e.Frame, e.Labels)
+	}
+	return nil
+}
+
+// MaxFrame returns the highest frame ID stored for a camera, or -1 when the
+// camera has no entries. The failover controller uses the coordinator
+// replica's MaxFrame as the applied cursor when picking a migrated feed's
+// resume point.
+func (db *ResultsDB) MaxFrame(camera string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	max := -1
+	for id := range db.byCamera[camera] {
+		if id > max {
+			max = id
+		}
+	}
+	return max
 }
 
 // persisted is the JSON schema of a saved database.
@@ -320,54 +427,156 @@ type EdgeStore struct {
 	mu     sync.RWMutex
 	quota  int64
 	used   int64
-	videos map[string]*container.Buffer
+	videos map[string]*edgeEntry
+	seq    int64 // insertion counter driving deterministic eviction order
+}
+
+// edgeEntry is one stored stream plus its pin count and age.
+type edgeEntry struct {
+	buf  *container.Buffer
+	seq  int64 // last Put's sequence number; lowest evicts first
+	pins int   // > 0 while a replay holds the stream open
 }
 
 // NewEdgeStore creates a store with the given byte quota (0 = unlimited).
 func NewEdgeStore(quota int64) *EdgeStore {
-	return &EdgeStore{quota: quota, videos: make(map[string]*container.Buffer)}
+	return &EdgeStore{quota: quota, videos: make(map[string]*edgeEntry)}
 }
 
 // ErrQuotaExceeded is returned when a stream does not fit.
 var ErrQuotaExceeded = fmt.Errorf("store: edge quota exceeded")
 
-// Put stores an encoded stream under a camera key.
+// ErrPinned is returned when eviction or deletion would remove a stream a
+// replay has pinned.
+var ErrPinned = fmt.Errorf("store: stream pinned")
+
+// Put stores an encoded stream under a camera key, failing when it does not
+// fit the quota. PutEvict is the variant that reclaims space; Put never
+// evicts.
 func (s *EdgeStore) Put(camera string, buf *container.Buffer) error {
+	_, err := s.putLocked(camera, buf, false)
+	return err
+}
+
+// PutEvict stores an encoded stream, evicting other cameras' streams —
+// oldest Put first, a deterministic order — until it fits. Pinned streams
+// are never evicted: if the quota cannot be met without touching a pinned
+// stream (or without evicting more than every other stream), nothing is
+// evicted or stored and ErrQuotaExceeded is returned. The evicted camera
+// keys are returned in eviction order.
+func (s *EdgeStore) PutEvict(camera string, buf *container.Buffer) ([]string, error) {
+	return s.putLocked(camera, buf, true)
+}
+
+func (s *EdgeStore) putLocked(camera string, buf *container.Buffer, evict bool) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	newSize := buf.Size()
 	var oldSize int64
 	if old, ok := s.videos[camera]; ok {
-		oldSize = old.Size()
+		if old.pins > 0 {
+			return nil, fmt.Errorf("%w: cannot replace %q mid-replay", ErrPinned, camera)
+		}
+		oldSize = old.buf.Size()
 	}
-	if s.quota > 0 && s.used-oldSize+newSize > s.quota {
-		return fmt.Errorf("%w: need %d bytes, %d free",
-			ErrQuotaExceeded, newSize, s.quota-(s.used-oldSize))
+	need := s.used - oldSize + newSize
+	var evicted []string
+	if s.quota > 0 && need > s.quota {
+		if !evict {
+			return nil, fmt.Errorf("%w: need %d bytes, %d free",
+				ErrQuotaExceeded, newSize, s.quota-(s.used-oldSize))
+		}
+		// Plan evictions oldest-first among unpinned streams (never the
+		// target camera itself); apply only if the plan reaches the quota.
+		type victim struct {
+			cam  string
+			size int64
+			seq  int64
+		}
+		var victims []victim
+		for cam, e := range s.videos {
+			if cam == camera || e.pins > 0 {
+				continue
+			}
+			victims = append(victims, victim{cam, e.buf.Size(), e.seq})
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+		for _, v := range victims {
+			if need <= s.quota {
+				break
+			}
+			need -= v.size
+			evicted = append(evicted, v.cam)
+		}
+		if need > s.quota {
+			return nil, fmt.Errorf("%w: need %d bytes, %d free after evicting all unpinned streams",
+				ErrQuotaExceeded, newSize, s.quota-need+newSize)
+		}
+		for _, cam := range evicted {
+			s.used -= s.videos[cam].buf.Size()
+			delete(s.videos, cam)
+		}
 	}
 	s.used += newSize - oldSize
-	s.videos[camera] = buf
-	return nil
+	s.seq++
+	s.videos[camera] = &edgeEntry{buf: buf, seq: s.seq}
+	return evicted, nil
 }
 
 // Open returns a container reader over the stored stream.
 func (s *EdgeStore) Open(camera string) (*container.Reader, error) {
 	s.mu.RLock()
-	buf, ok := s.videos[camera]
+	e, ok := s.videos[camera]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("store: no video for camera %q", camera)
 	}
-	return container.NewReader(buf, buf.Size())
+	return container.NewReader(e.buf, e.buf.Size())
 }
 
-// Delete removes a camera's stream, reclaiming quota.
-func (s *EdgeStore) Delete(camera string) {
+// Pin marks a camera's stream as in-use by a replay, excluding it from
+// PutEvict eviction and Delete until the returned release function is
+// called (once; further calls are no-ops). This is what keeps an open
+// resume cursor valid while new recordings squeeze the quota: the replay
+// pins the stream first, so a concurrent PutEvict can drop any stream but
+// this one.
+func (s *EdgeStore) Pin(camera string) (release func(), err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if buf, ok := s.videos[camera]; ok {
-		s.used -= buf.Size()
-		delete(s.videos, camera)
+	e, ok := s.videos[camera]
+	if !ok {
+		return nil, fmt.Errorf("store: no video for camera %q", camera)
 	}
+	e.pins++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			// The entry may have been replaced after release of all pins;
+			// only decrement if this exact entry is still stored.
+			if cur, ok := s.videos[camera]; ok && cur == e {
+				e.pins--
+			}
+		})
+	}, nil
+}
+
+// Delete removes a camera's stream, reclaiming quota. Deleting a pinned
+// stream fails with ErrPinned; deleting an absent camera is a no-op.
+func (s *EdgeStore) Delete(camera string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.videos[camera]
+	if !ok {
+		return nil
+	}
+	if e.pins > 0 {
+		return fmt.Errorf("%w: cannot delete %q mid-replay", ErrPinned, camera)
+	}
+	s.used -= e.buf.Size()
+	delete(s.videos, camera)
+	return nil
 }
 
 // Used reports the bytes currently stored.
@@ -437,4 +646,44 @@ func (s *EdgeStore) ResumeCursor(camera string) (lastIFrame, frames int, err err
 		return true
 	})
 	return lastIFrame, r.NumFrames(), nil
+}
+
+// ResumePoint picks the I-frame boundary a migrated feed restarts encoding
+// at after its site crashed, given the cloud replica's applied cursor for
+// the camera (its highest synced frame ID, -1 when none):
+//
+//   - the smallest stored I-frame strictly after applied, when one exists —
+//     re-encoding from there regenerates exactly the detections the cloud
+//     is missing;
+//   - otherwise the last stored I-frame — the cloud already has everything
+//     the edge retained, and the feed continues past the stored tail from
+//     the most recent boundary (re-shipped detections are idempotent).
+//
+// Restarting at an *original* I-frame boundary is what keeps the re-encode
+// byte-identical to the uninterrupted run: I-frame placement depends only
+// on source frames from the boundary onward, so the healed stream's
+// detections match the no-failure run's frame for frame.
+func (s *EdgeStore) ResumePoint(camera string, applied int) (int, error) {
+	r, err := s.Open(camera)
+	if err != nil {
+		return 0, err
+	}
+	best, last := -1, -1
+	r.ScanMeta(func(m container.FrameMeta) bool {
+		if m.Type != codec.FrameI {
+			return true
+		}
+		last = m.Index
+		if m.Index > applied && best < 0 {
+			best = m.Index
+		}
+		return true
+	})
+	if best >= 0 {
+		return best, nil
+	}
+	if last >= 0 {
+		return last, nil
+	}
+	return 0, fmt.Errorf("store: no I-frame stored for camera %q", camera)
 }

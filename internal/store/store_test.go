@@ -370,3 +370,260 @@ func TestResumeCursor(t *testing.T) {
 		t.Fatal("unknown camera accepted")
 	}
 }
+
+func TestDeltaLog(t *testing.T) {
+	db := NewResultsDB()
+	if v := db.Version(); v != 0 {
+		t.Fatalf("fresh Version = %d", v)
+	}
+	db.Put("cam", 0, labels.NewSet("car"))
+	db.Put("cam", 4, labels.NewSet("bus"))
+	db.Put("other", 2, labels.NewSet())
+	if v := db.Version(); v != 3 {
+		t.Fatalf("Version = %d, want 3", v)
+	}
+	d, err := db.DeltaSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != 0 || d.To != 3 || len(d.Entries) != 3 {
+		t.Fatalf("full delta = %+v", d)
+	}
+	if d.Entries[1].Camera != "cam" || d.Entries[1].Frame != 4 {
+		t.Fatalf("entry order broken: %+v", d.Entries)
+	}
+	mid, err := db.DeltaSince(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.From != 2 || mid.To != 3 || len(mid.Entries) != 1 {
+		t.Fatalf("tail delta = %+v", mid)
+	}
+	empty, err := db.DeltaSince(3)
+	if err != nil || len(empty.Entries) != 0 {
+		t.Fatalf("empty delta = (%+v, %v)", empty, err)
+	}
+	if _, err := db.DeltaSince(4); !errors.Is(err, ErrDeltaCursor) {
+		t.Fatalf("out-of-range DeltaSince = %v", err)
+	}
+	if _, err := db.DeltaSince(-1); !errors.Is(err, ErrDeltaCursor) {
+		t.Fatalf("negative DeltaSince = %v", err)
+	}
+}
+
+func TestApplyDeltaContiguityAndIdempotency(t *testing.T) {
+	src := NewResultsDB()
+	src.Put("cam", 0, labels.NewSet("car"))
+	src.Put("cam", 4, labels.NewSet("bus"))
+
+	replica := NewResultsDB()
+	d1, _ := src.DeltaSince(0)
+	if err := replica.ApplyDelta(d1); err != nil {
+		t.Fatal(err)
+	}
+	if replica.Version() != 2 || replica.Len() != 2 {
+		t.Fatalf("replica after apply: v=%d len=%d", replica.Version(), replica.Len())
+	}
+	// Duplicate retransmission is a no-op.
+	if err := replica.ApplyDelta(d1); err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+	if replica.Version() != 2 {
+		t.Fatalf("duplicate apply advanced cursor to %d", replica.Version())
+	}
+	// Overlapping retransmission applies only the unseen suffix.
+	src.Put("cam", 8, labels.NewSet("car"))
+	overlap, _ := src.DeltaSince(1)
+	if err := replica.ApplyDelta(overlap); err != nil {
+		t.Fatalf("overlap apply: %v", err)
+	}
+	if replica.Version() != 3 || replica.Len() != 3 {
+		t.Fatalf("replica after overlap: v=%d len=%d", replica.Version(), replica.Len())
+	}
+	// A gap is refused.
+	src.Put("cam", 12, labels.NewSet("bus"))
+	src.Put("cam", 16, labels.NewSet("bus"))
+	gap, _ := src.DeltaSince(4)
+	if err := replica.ApplyDelta(gap); !errors.Is(err, ErrDeltaCursor) {
+		t.Fatalf("gap apply = %v, want ErrDeltaCursor", err)
+	}
+	if replica.Version() != 3 {
+		t.Fatal("refused delta still advanced the cursor")
+	}
+	// A malformed span/entry mismatch is refused.
+	bad := Delta{From: 3, To: 5, Entries: nil}
+	if err := replica.ApplyDelta(bad); !errors.Is(err, ErrDeltaCursor) {
+		t.Fatalf("malformed apply = %v", err)
+	}
+	// Catching up from the replica's true cursor converges with the source.
+	rest, _ := src.DeltaSince(replica.Version())
+	if err := replica.ApplyDelta(rest); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := src.MarshalIndent()
+	b, _ := replica.MarshalIndent()
+	if string(a) != string(b) {
+		t.Fatal("replica diverged from source after catch-up")
+	}
+}
+
+func TestMergeKeepsLogDeterministic(t *testing.T) {
+	build := func() *ResultsDB {
+		other := NewResultsDB()
+		other.Put("b", 0, labels.NewSet("car"))
+		other.Put("a", 3, labels.NewSet("bus"))
+		other.Put("a", 1, labels.NewSet("car"))
+		db := NewResultsDB()
+		if err := db.Merge(other); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	d1, _ := build().DeltaSince(0)
+	d2, _ := build().DeltaSince(0)
+	for i := range d1.Entries {
+		if d1.Entries[i].Camera != d2.Entries[i].Camera || d1.Entries[i].Frame != d2.Entries[i].Frame {
+			t.Fatalf("merge log order not deterministic: %+v vs %+v", d1.Entries, d2.Entries)
+		}
+	}
+	// Sorted application: a/1, a/3, b/0.
+	want := []struct {
+		cam   string
+		frame int
+	}{{"a", 1}, {"a", 3}, {"b", 0}}
+	for i, w := range want {
+		if d1.Entries[i].Camera != w.cam || d1.Entries[i].Frame != w.frame {
+			t.Fatalf("merge log[%d] = %s/%d, want %s/%d", i, d1.Entries[i].Camera, d1.Entries[i].Frame, w.cam, w.frame)
+		}
+	}
+}
+
+func TestMaxFrame(t *testing.T) {
+	db := NewResultsDB()
+	if got := db.MaxFrame("cam"); got != -1 {
+		t.Fatalf("MaxFrame on empty = %d", got)
+	}
+	db.Put("cam", 4, labels.NewSet("car"))
+	db.Put("cam", 12, labels.NewSet("bus"))
+	db.Put("cam", 8, labels.NewSet())
+	if got := db.MaxFrame("cam"); got != 12 {
+		t.Fatalf("MaxFrame = %d, want 12", got)
+	}
+}
+
+// TestEvictionSparesPinnedStream is the regression test for the failover
+// replay hazard: a quota-pressed PutEvict while a replay holds a resume
+// cursor open must evict other streams, never the pinned one.
+func TestEvictionSparesPinnedStream(t *testing.T) {
+	a := writeStream(t, 30, 10)
+	b := writeStream(t, 30, 10)
+	c := writeStream(t, 30, 10)
+	s := NewEdgeStore(a.Size() + b.Size() + 10)
+	if err := s.Put("cam-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cam-b", b); err != nil {
+		t.Fatal(err)
+	}
+	// A replay opens cam-a (the older stream — first in eviction order)
+	// and pins it.
+	release, err := s.Pin("cam-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := s.PutEvict("cam-c", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cam-a is older but pinned; cam-b must have been chosen instead.
+	if len(evicted) != 1 || evicted[0] != "cam-b" {
+		t.Fatalf("evicted %v, want [cam-b]", evicted)
+	}
+	if _, err := s.Open("cam-a"); err != nil {
+		t.Fatalf("pinned stream gone after eviction: %v", err)
+	}
+	// The open resume cursor stays valid.
+	if lastI, frames, err := s.ResumeCursor("cam-a"); err != nil || lastI != 20 || frames != 30 {
+		t.Fatalf("ResumeCursor after eviction = (%d, %d, %v)", lastI, frames, err)
+	}
+	// Deleting or replacing the pinned stream is refused.
+	if err := s.Delete("cam-a"); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Delete of pinned = %v", err)
+	}
+	if err := s.Put("cam-a", writeStream(t, 10, 5)); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Put over pinned = %v", err)
+	}
+	// When only the pinned stream could make room, PutEvict must refuse
+	// without evicting anything.
+	big := writeStream(t, 200, 10)
+	if _, err := s.PutEvict("cam-big", big); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota PutEvict with only pinned victims = %v", err)
+	}
+	if _, err := s.Open("cam-a"); err != nil {
+		t.Fatal("failed PutEvict still evicted the pinned stream")
+	}
+	if _, err := s.Open("cam-c"); err != nil {
+		t.Fatal("failed PutEvict evicted cam-c without storing anything")
+	}
+	release()
+	// After release the stream is evictable again; release is idempotent.
+	release()
+	if err := s.Delete("cam-a"); err != nil {
+		t.Fatalf("Delete after release: %v", err)
+	}
+}
+
+func TestPutEvictOldestFirstDeterministic(t *testing.T) {
+	a := writeStream(t, 30, 10)
+	b := writeStream(t, 30, 10)
+	c := writeStream(t, 30, 10)
+	s := NewEdgeStore(2*a.Size() + 10)
+	if err := s.Put("cam-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cam-b", b); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := s.PutEvict("cam-c", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "cam-a" {
+		t.Fatalf("evicted %v, want oldest [cam-a]", evicted)
+	}
+	if cams := s.Cameras(); len(cams) != 2 || cams[0] != "cam-b" || cams[1] != "cam-c" {
+		t.Fatalf("cameras after eviction: %v", cams)
+	}
+}
+
+func TestResumePoint(t *testing.T) {
+	s := NewEdgeStore(0)
+	// 50 frames, I-frames at 0, 10, 20, 30, 40.
+	if err := s.Put("cam", writeStream(t, 50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		applied int
+		want    int
+	}{
+		{-1, 0},  // cloud has nothing: restart from the beginning
+		{0, 10},  // cloud synced frame 0: next boundary is 10
+		{9, 10},  // mid-GOP cursor: next boundary still 10
+		{10, 20}, //
+		{39, 40}, //
+		{40, 40}, // cloud has every stored I-frame: continue from the last
+		{99, 40}, // cursor past the stored tail: same
+	}
+	for _, c := range cases {
+		got, err := s.ResumePoint("cam", c.applied)
+		if err != nil {
+			t.Fatalf("ResumePoint(applied=%d): %v", c.applied, err)
+		}
+		if got != c.want {
+			t.Fatalf("ResumePoint(applied=%d) = %d, want %d", c.applied, got, c.want)
+		}
+	}
+	if _, err := s.ResumePoint("ghost", 0); err == nil {
+		t.Fatal("ResumePoint on missing camera succeeded")
+	}
+}

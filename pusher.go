@@ -7,7 +7,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"sieve/internal/retry"
 	"sieve/internal/wire"
 )
 
@@ -18,6 +20,8 @@ type pusherConfig struct {
 	name       string
 	params     EncoderParams
 	haveParams bool
+	backoff    retry.Backoff
+	clock      Clock
 }
 
 // WithPusherName overrides the feed name advertised in HELLO (default:
@@ -32,6 +36,24 @@ func WithPusherName(name string) PusherOption {
 // geometry. The server may still override both with WithIngestSession.
 func WithPusherEncoding(p EncoderParams) PusherOption {
 	return func(c *pusherConfig) { c.params, c.haveParams = p, true }
+}
+
+// WithPusherBackoff tunes RunRetry's reconnect schedule: the delay before
+// the first retry, the per-retry cap, and how many consecutive attempts
+// without progress are allowed before giving up (defaults: 50ms, 1s, 5).
+// The schedule is deterministic — exponential doubling, no jitter — so a
+// scripted flaky transport reconnects at the same points every run.
+func WithPusherBackoff(base, max time.Duration, maxAttempts int) PusherOption {
+	return func(c *pusherConfig) {
+		c.backoff = retry.Backoff{Base: base, Max: max, MaxAttempts: maxAttempts}
+	}
+}
+
+// WithPusherClock injects the clock RunRetry sleeps its backoff delays on
+// (default: the wall clock). Inject a VirtualClock for instant,
+// deterministic reconnect tests.
+func WithPusherClock(clk Clock) PusherOption {
+	return func(c *pusherConfig) { c.clock = clk }
 }
 
 // PusherStats are a Pusher's client-side counters, cumulative across
@@ -51,6 +73,10 @@ type PusherStats struct {
 	Evicted int64
 	// Reconnects counts successful RESUME handshakes.
 	Reconnects int
+	// Attempts counts connections made by RunRetry (dial + handshake +
+	// stream), including the first and any that failed before the
+	// handshake.
+	Attempts int
 	// CloseReason names the server's terminal CLOSE ("" until the server
 	// finalises the feed): END_OF_STREAM, QUOTA_FRAMES, QUOTA_BYTES or
 	// SHUTDOWN.
@@ -60,6 +86,10 @@ type PusherStats struct {
 // ErrPusherDone is returned by Run once the server has finalised the
 // feed's stream: there is nothing left to push.
 var ErrPusherDone = errors.New("sieve: pusher: feed already finalised by server")
+
+// ErrRetryExhausted matches (errors.Is) the error RunRetry returns when
+// the reconnect budget is spent without progress.
+var ErrRetryExhausted = retry.ErrAttemptsExhausted
 
 // Pusher is the client side of the SVWP ingest plane: it streams a
 // FrameSource's raw frames to an IngestListener over any net.Conn. The
@@ -222,6 +252,78 @@ func (p *Pusher) Run(ctx context.Context, nc net.Conn) error {
 		p.stats.BytesSent += frameBytes
 		p.mu.Unlock()
 	}
+}
+
+// RunRetry dials and runs until the server finalises the feed,
+// reconnecting through the capped exponential-backoff schedule when the
+// transport fails. Progress resets the schedule: a connection that
+// delivered new frames, acks or a RESUME handshake drops the streak back
+// to the base delay, so only MaxAttempts *consecutive fruitless* attempts
+// exhaust the budget (an error matching ErrRetryExhausted, wrapped with
+// the last transport error). A server rejection (wire ERROR) is terminal
+// and never retried;
+// dial is called once per attempt and must return a fresh connection.
+func (p *Pusher) RunRetry(ctx context.Context, dial func(context.Context) (net.Conn, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if dial == nil {
+		return errors.New("sieve: pusher: RunRetry needs a dial function")
+	}
+	clk := p.cfg.clock
+	if clk == nil {
+		clk = RealClock()
+	}
+	b := p.cfg.backoff
+	if b.MaxAttempts == 0 {
+		b = retry.Backoff{Base: 50 * time.Millisecond, Max: time.Second, MaxAttempts: 5}
+	}
+	streak := 0 // consecutive attempts without progress
+	var last error
+	for {
+		if streak >= b.MaxAttempts {
+			return fmt.Errorf("sieve: pusher: reconnect budget spent (%d attempts without progress): %w",
+				b.MaxAttempts, errors.Join(retry.ErrAttemptsExhausted, last))
+		}
+		if streak > 0 {
+			if err := clk.Sleep(ctx, b.Delay(streak)); err != nil {
+				return errors.Join(err, last)
+			}
+		}
+		p.mu.Lock()
+		p.stats.Attempts++
+		before := p.progressLocked()
+		p.mu.Unlock()
+		nc, err := dial(ctx)
+		if err == nil {
+			err = p.Run(ctx, nc)
+		}
+		if err == nil || errors.Is(err, ErrPusherDone) {
+			return nil
+		}
+		var em *wire.ErrorMsg
+		if errors.As(err, &em) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		p.mu.Lock()
+		progressed := p.progressLocked() > before
+		p.mu.Unlock()
+		if progressed {
+			streak = 1
+		} else {
+			streak++
+		}
+		last = err
+	}
+}
+
+// progressLocked is the monotonic progress measure RunRetry uses to decide
+// whether a failed connection still moved the stream forward.
+func (p *Pusher) progressLocked() int64 {
+	return p.stats.FramesSent + p.stats.Acks + int64(p.stats.Reconnects)
 }
 
 // awaitWelcome reads the handshake reply: WELCOME or a terminal ERROR.

@@ -134,8 +134,19 @@ type sessionConfig struct {
 	sink       io.WriteSeeker
 	statsEvery int
 	eventBuf   int
+	frameBase  int         // event frame-number offset, see withFrameBase
 	tap        func(Event) // synchronous observer, see withEventTap
 	onDone     func(error) // completion callback, see withRunDone
+}
+
+// withFrameBase offsets every emitted event's Frame by n. A migrated
+// cluster feed resuming at I-frame boundary n encodes a fresh stream whose
+// frames the encoder numbers from 0; the base restores the feed's original
+// frame numbering so detections land on the right ResultsDB rows. The
+// stored SVF stream itself keeps its own zero-based index (it is a
+// self-contained tail segment).
+func withFrameBase(n int) SessionOption {
+	return func(c *sessionConfig) { c.frameBase = n }
 }
 
 // withEventTap registers a synchronous event observer: fn runs on the
@@ -393,7 +404,7 @@ func (s *Session) Run(ctx context.Context) (err error) {
 		frames := s.stats.Frames
 		s.mu.Unlock()
 
-		ev := Event{Kind: EventFrameEncoded, Frame: ef.Number, FrameType: ef.Type, Bytes: len(ef.Data)}
+		ev := Event{Kind: EventFrameEncoded, Frame: s.cfg.frameBase + ef.Number, FrameType: ef.Type, Bytes: len(ef.Data)}
 		if !s.emit(ctx, ev) {
 			return ctx.Err()
 		}
@@ -418,13 +429,13 @@ func (s *Session) Run(ctx context.Context) (err error) {
 				s.mu.Lock()
 				s.stats.Detections++
 				s.mu.Unlock()
-				if !s.emit(ctx, Event{Kind: EventDetection, Frame: ef.Number, Labels: set}) {
+				if !s.emit(ctx, Event{Kind: EventDetection, Frame: s.cfg.frameBase + ef.Number, Labels: set}) {
 					return ctx.Err()
 				}
 			}
 		}
 		if s.cfg.statsEvery > 0 && frames%s.cfg.statsEvery == 0 {
-			if !s.emit(ctx, Event{Kind: EventStats, Frame: ef.Number, Stats: s.Stats()}) {
+			if !s.emit(ctx, Event{Kind: EventStats, Frame: s.cfg.frameBase + ef.Number, Stats: s.Stats()}) {
 				return ctx.Err()
 			}
 		}
@@ -435,7 +446,7 @@ func (s *Session) Run(ctx context.Context) (err error) {
 	s.mu.Lock()
 	s.finished = true
 	s.mu.Unlock()
-	last := s.Stats().Frames - 1
+	last := s.cfg.frameBase + s.Stats().Frames - 1
 	if !s.emit(ctx, Event{Kind: EventStats, Frame: last, Stats: s.Stats()}) {
 		return ctx.Err()
 	}
@@ -460,6 +471,29 @@ func (s *Session) emit(ctx context.Context, ev Event) bool {
 	case <-ctx.Done():
 		return false
 	}
+}
+
+// salvage finalises the stream index of a session whose Run was cancelled
+// mid-stream (its site crashed), making the partial SVF stream readable:
+// without the trailing index a partial stream cannot be opened at all, so
+// the failover controller closes it before archiving the tail for replay.
+// Must only be called after Run has returned (frames are appended whole,
+// so the truncation point is always a frame boundary). Reports whether the
+// stream is now readable; a no-op when Run already finalised it.
+func (s *Session) salvage() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return true
+	}
+	if !s.ran {
+		return false
+	}
+	if err := s.enc.Close(); err != nil {
+		return false
+	}
+	s.finished = true
+	return true
 }
 
 // abort closes the event stream of a session that will never run (a Hub
