@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/infer/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-full docs-lint wire-smoke chaos-smoke fmt vet lint sievelint fuzz-smoke vuln ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-json bench-full docs-lint wire-smoke chaos-smoke obs-smoke fmt vet lint sievelint fuzz-smoke vuln ci
 
 all: build
 
@@ -100,6 +100,7 @@ bench-codec-smoke:
 # variant so the cluster path cannot silently stop compiling as a benchmark.
 bench-cluster:
 	$(GO) test -run='^$$' -bench='^BenchmarkClusterSites' -benchmem .
+	$(GO) run ./cmd/sievebench -suite cluster -json BENCH_cluster.json
 
 bench-cluster-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkClusterSites' -benchtime=1x -benchmem .
@@ -145,6 +146,30 @@ chaos-smoke:
 	$(GO) test -race -run '^(TestFailHeal|TestDegrade)' -count=1 ./internal/simnet/
 	$(GO) test -race -run '^TestCoordinator' -count=1 ./internal/cluster/
 
+# Machine-readable perf trajectory: each measured sievebench suite as a
+# BENCH_<suite>.json (schema: internal/telemetry/bench.go, validated on
+# write and re-validated by -check). obs-smoke writes the CI-sized
+# BENCH_smoke.json; this target writes the longer points.
+bench-json:
+	$(GO) run ./cmd/sievebench -suite session -json BENCH_session.json
+	$(GO) run ./cmd/sievebench -suite cluster -json BENCH_cluster.json
+	$(GO) run ./cmd/sievebench -check BENCH_session.json
+	$(GO) run ./cmd/sievebench -check BENCH_cluster.json
+
+# Observability smoke: the telemetry plane's equivalence and determinism
+# suite under the race detector (merged results byte-identical with
+# telemetry on vs off, traces byte-identical run to run including under
+# failover, /metrics scrapable mid-run), then the CLI round trip — a
+# short traced cluster run whose trace must parse back through
+# `sieve trace`, and a BENCH_smoke.json that must pass the schema check.
+obs-smoke:
+	$(GO) test -race -run '^(TestClusterTelemetryEquivalence|TestClusterTraceDeterminism|TestClusterFailoverTraceDeterminism|TestClusterSnapshotConcurrentMidRun|TestDebugEndpointScrapesMidRun|TestSessionTelemetryStandalone)' -count=1 .
+	$(GO) run ./cmd/sieve cluster -feeds 4 -sites 2 -seconds 4 -detect=false -trace obs_trace.json -debug-addr 127.0.0.1:0 >/dev/null
+	$(GO) run ./cmd/sieve trace obs_trace.json
+	rm -f obs_trace.json
+	$(GO) run ./cmd/sievebench -suite smoke -json BENCH_smoke.json
+	$(GO) run ./cmd/sievebench -check BENCH_smoke.json
+
 # Docs lint: PROTOCOL.md is normative — these tests parse its
 # message-type, error-code, drain and close tables and fail when they
 # disagree with the internal/wire constants (in either direction).
@@ -157,4 +182,4 @@ bench-full:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
 
 # Everything CI checks, in CI's order.
-ci: build vet fmt lint test-short bench wire-smoke chaos-smoke docs-lint fuzz-smoke
+ci: build vet fmt lint test-short bench wire-smoke chaos-smoke obs-smoke docs-lint fuzz-smoke

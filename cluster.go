@@ -14,6 +14,7 @@ import (
 	"sieve/internal/retry"
 	"sieve/internal/simnet"
 	"sieve/internal/store"
+	"sieve/internal/telemetry"
 )
 
 // Re-exported storage and sharding types (same alias pattern as sieve.go:
@@ -88,6 +89,28 @@ type clusterConfig struct {
 	faults       *FaultPlan
 	syncEvery    int
 	syncAttempts int
+	reg          *telemetry.Registry
+	tracer       *telemetry.Tracer
+}
+
+// WithClusterTelemetry shares one metrics registry across the whole cluster:
+// every site hub, session, inference plane and the fault/sync planes register
+// their series (labelled by site and feed) in reg instead of private
+// registries, so a single Prometheus scrape or Snapshot covers the
+// deployment. Telemetry never alters results — the merged ResultsDB is
+// byte-identical with or without it.
+func WithClusterTelemetry(reg *Registry) ClusterOption {
+	return func(c *clusterConfig) { c.reg = reg }
+}
+
+// WithClusterTrace attaches a frame-anchored tracer: every session stage
+// (pull/encode/filter/infer) plus the cluster's ship and merge work record
+// spans keyed by (site, feed, frame) against the tracer's clock. Export with
+// Tracer.WriteChrome. Under VirtualClocks the trace is byte-identical run to
+// run, including scripted-fault runs (a crashed site's buffered spans drop,
+// exactly as a real crash loses unflushed trace buffers).
+func WithClusterTrace(t *Tracer) ClusterOption {
+	return func(c *clusterConfig) { c.tracer = t }
 }
 
 // WithSharder selects the feed-placement policy (default ShardByHash).
@@ -255,15 +278,38 @@ type Cluster struct {
 	fstats    failoverCounters
 }
 
-// failoverCounters aggregates the fault plane's activity (Cluster.mu).
+// failoverCounters aggregates the fault and sync planes' activity. The
+// fields are telemetry counters registered as sieve_cluster_* series in
+// NewCluster, so the fault plane's behaviour shows up in a Prometheus
+// scrape alongside the frame counters; ClusterStats reads them as a view.
 type failoverCounters struct {
-	crashes    int
-	recoveries int
-	migrated   int
-	lost       int
-	replayed   int
-	deltaSyncs int64
-	retries    int64
+	crashes    *telemetry.Counter
+	recoveries *telemetry.Counter
+	migrated   *telemetry.Counter
+	lost       *telemetry.Counter
+	replayed   *telemetry.Counter
+	deltaSyncs *telemetry.Counter
+	retries    *telemetry.Counter
+}
+
+// newFailoverCounters registers the cluster-level fault/sync series in reg.
+func newFailoverCounters(reg *telemetry.Registry) failoverCounters {
+	reg.Describe("sieve_cluster_crashes_total", "scripted site crashes fired")
+	reg.Describe("sieve_cluster_recoveries_total", "crashed sites whose uplink recovered")
+	reg.Describe("sieve_cluster_migrated_feeds_total", "feeds adopted by surviving sites after a crash")
+	reg.Describe("sieve_cluster_lost_feeds_total", "feeds no surviving site could adopt")
+	reg.Describe("sieve_cluster_replayed_frames_total", "frames re-encoded by adoptive sites during failover")
+	reg.Describe("sieve_cluster_delta_syncs_total", "streaming shard-sync delta flushes")
+	reg.Describe("sieve_cluster_sync_retries_total", "extra delta-sync attempts spent on partitioned uplinks")
+	return failoverCounters{
+		crashes:    reg.Counter("sieve_cluster_crashes_total"),
+		recoveries: reg.Counter("sieve_cluster_recoveries_total"),
+		migrated:   reg.Counter("sieve_cluster_migrated_feeds_total"),
+		lost:       reg.Counter("sieve_cluster_lost_feeds_total"),
+		replayed:   reg.Counter("sieve_cluster_replayed_frames_total"),
+		deltaSyncs: reg.Counter("sieve_cluster_delta_syncs_total"),
+		retries:    reg.Counter("sieve_cluster_sync_retries_total"),
+	}
 }
 
 // Failover records one migrated feed: where it ran, where it resumed, and
@@ -290,6 +336,9 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.reg == nil {
+		cfg.reg = telemetry.NewRegistry()
+	}
 	names := make([]string, numSites)
 	for i := range names {
 		names[i] = fmt.Sprintf("site%d", i)
@@ -309,23 +358,52 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 		events:    make(chan Event, cfg.bufSize),
 		skew:      make(map[string]float64),
 	}
+	c.fstats = newFailoverCounters(cfg.reg)
+	if c.ingest != nil {
+		c.ingest.instrument(cfg.reg)
+	}
 	for _, name := range names {
 		c.coord.Register(name)
 	}
+	cfg.reg.Describe("sieve_cluster_edge_store_bytes", "per-site edge store usage")
+	cfg.reg.Describe("sieve_cluster_uplink_bytes", "per-site bytes shipped over the edge-to-cloud uplink")
+	cfg.reg.Describe("sieve_cluster_degraded_sites", "sites whose slice of the merged view is incomplete or stale")
 	for _, name := range names {
-		hubOpts := []HubOption{WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize)}
+		hubOpts := []HubOption{
+			WithWorkers(cfg.siteWorkers), WithHubBuffer(cfg.bufSize),
+			WithHubTelemetry(cfg.reg), withHubSite(name), WithHubTrace(cfg.tracer),
+		}
 		if cfg.inferDet != nil {
 			hubOpts = append(hubOpts, WithHubInference(cfg.inferDet, cfg.inferBatch))
 		}
-		c.sites = append(c.sites, &clusterSite{
+		s := &clusterSite{
 			name:  name,
 			hub:   NewHub(hubOpts...),
 			shard: NewResultsDB(),
 			edge:  store.NewEdgeStore(cfg.quota),
+		}
+		c.sites = append(c.sites, s)
+		// Sampled gauges: storage and uplink accounting live in their own
+		// planes, so a collect hook reads them at snapshot/scrape time
+		// instead of threading counters through the store and simnet layers.
+		stored := cfg.reg.Gauge("sieve_cluster_edge_store_bytes", telemetry.L("site", name))
+		uplink := cfg.reg.Gauge("sieve_cluster_uplink_bytes", telemetry.L("site", name))
+		cfg.reg.OnCollect(func() {
+			stored.Set(s.edge.Used())
+			if bytes, _, _, err := c.coord.UplinkStats(s.name); err == nil {
+				uplink.Set(bytes)
+			}
 		})
 	}
+	degraded := cfg.reg.Gauge("sieve_cluster_degraded_sites")
+	cfg.reg.OnCollect(func() { degraded.Set(int64(len(c.coord.Degraded()))) })
 	return c, nil
 }
+
+// Telemetry returns the cluster's metrics registry — the shared one passed
+// via WithClusterTelemetry, or the private default. Snapshot it, diff it, or
+// serve it on the debug endpoint.
+func (c *Cluster) Telemetry() *Registry { return c.cfg.reg }
 
 // Sites lists the edge site names in order.
 func (c *Cluster) Sites() []string { return c.topo.Sites() }
@@ -466,7 +544,11 @@ func (c *Cluster) Run(ctx context.Context) error {
 		s.cancel()
 	}
 
+	// The merge is cloud-side work with no site or feed identity; frame -1
+	// marks it as a run-level span.
+	mergeSp := c.cfg.tracer.Scope("", "").Start(telemetry.StageMerge, -1)
 	merged, mergeErr := c.coord.MergeAll()
+	mergeSp.End()
 	c.mu.Lock()
 	c.merged = merged
 	c.mu.Unlock()
@@ -501,6 +583,9 @@ func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 	go func() {
 		defer pump.Done()
 		synced := 0 // detections recorded since the last delta flush
+		// The ship scope is site-wide control-plane work, not a feed's
+		// pipeline: feed stays "" and the span carries the frame number.
+		ship := c.cfg.tracer.Scope(s.name, "")
 		for ev := range s.hub.Events() {
 			ev.Site = s.name
 			// Every forwarded event is a liveness proof: heartbeats are
@@ -515,7 +600,10 @@ func (c *Cluster) runSite(ctx context.Context, s *clusterSite) error {
 				// The edge records locally and ships the tiny detection
 				// record upstream — the frame payload never crosses the WAN.
 				s.shard.Put(ev.Feed, ev.Frame, ev.Labels)
-				if err := c.coord.ShipDetection(s.name, ev.Feed, ev.Labels); err != nil && pumpErr == nil {
+				sp := ship.Start(telemetry.StageShip, ev.Frame)
+				err := c.coord.ShipDetection(s.name, ev.Feed, ev.Labels)
+				sp.End()
+				if err != nil && pumpErr == nil {
 					pumpErr = err
 				}
 				if synced++; synced >= c.cfg.syncEvery {
@@ -667,8 +755,12 @@ func (c *Cluster) crashSite(name string) {
 	}
 	s.crashed, s.failover = true, true
 	cancel := s.cancel
-	c.fstats.crashes++
+	c.fstats.crashes.Inc()
 	c.mu.Unlock()
+	// A crash loses the process's in-memory trace buffer, and dropping the
+	// dying site's tail spans keeps fault-plan traces deterministic (how far
+	// it limped past the trigger is scheduling noise).
+	c.cfg.tracer.DropSite(name)
 	if l, ok := c.topo.Uplink(name); ok {
 		l.Fail()
 	}
@@ -690,7 +782,7 @@ func (c *Cluster) recoverSite(name string) {
 	}
 	s.crashed = false
 	s.recovered = true
-	c.fstats.recoveries++
+	c.fstats.recoveries.Inc()
 	c.mu.Unlock()
 	if l, ok := c.topo.Uplink(name); ok {
 		l.Heal()
@@ -728,9 +820,7 @@ func (c *Cluster) handleCrash(ctx context.Context, dead *clusterSite, wg *sync.W
 }
 
 func (c *Cluster) noteLostFeed(dead *clusterSite, feed string, err error) {
-	c.mu.Lock()
-	c.fstats.lost++
-	c.mu.Unlock()
+	c.fstats.lost.Inc()
 	c.coord.MarkDegraded(dead.name, fmt.Sprintf("feed %s lost in failover: %v", feed, err))
 }
 
@@ -821,7 +911,12 @@ func (c *Cluster) runMigratedFeed(ctx context.Context, from *clusterSite, f *clu
 	}
 
 	sink := &container.Buffer{}
-	opts := append(f.opts[:len(f.opts):len(f.opts)], WithName(f.name), WithSink(sink), withFrameBase(base))
+	// The migrated session joins the cluster registry under the adoptive
+	// site's label, but gets no trace scope: failover replay is a recovery
+	// action, not a pipeline stage, and tracing it would make fault-plan
+	// traces depend on migration scheduling.
+	opts := append(f.opts[:len(f.opts):len(f.opts)], WithName(f.name), WithSink(sink), withFrameBase(base),
+		WithTelemetry(c.cfg.reg), withTraceSite(to.name))
 	if c.cfg.inferDet != nil {
 		// The dead site's shared inference plane died with its hub; the
 		// migrated session falls back to the batch-of-1 configuration of the
@@ -877,8 +972,8 @@ func (c *Cluster) runMigratedFeed(ctx context.Context, from *clusterSite, f *clu
 	_, _ = to.edge.PutEvict(f.name, sink)
 
 	c.mu.Lock()
-	c.fstats.migrated++
-	c.fstats.replayed += replayed
+	c.fstats.migrated.Inc()
+	c.fstats.replayed.Add(int64(replayed))
 	to.frames += replayed
 	c.failovers = append(c.failovers, Failover{
 		Feed: f.name, From: from.name, To: to.name,
@@ -910,10 +1005,8 @@ func (c *Cluster) flushDeltas(ctx context.Context, s *clusterSite) {
 		}
 		return c.coord.ShipDelta(s.name, d)
 	})
-	c.mu.Lock()
-	c.fstats.deltaSyncs++
-	c.fstats.retries += int64(attempts - 1)
-	c.mu.Unlock()
+	c.fstats.deltaSyncs.Inc()
+	c.fstats.retries.Add(int64(attempts - 1))
 	if err != nil {
 		c.coord.MarkDegraded(s.name,
 			fmt.Sprintf("delta sync stalled at cursor %d: %v", c.coord.SyncCursor(s.name), err))
@@ -1103,13 +1196,13 @@ func (c *Cluster) Snapshot() ClusterStats {
 	c.mu.Unlock()
 	st := ClusterStats{
 		Sites:          make([]SiteStats, 0, len(sites)),
-		Crashes:        fs.crashes,
-		Recoveries:     fs.recoveries,
-		MigratedFeeds:  fs.migrated,
-		LostFeeds:      fs.lost,
-		ReplayedFrames: fs.replayed,
-		DeltaSyncs:     fs.deltaSyncs,
-		SyncRetries:    fs.retries,
+		Crashes:        int(fs.crashes.Value()),
+		Recoveries:     int(fs.recoveries.Value()),
+		MigratedFeeds:  int(fs.migrated.Value()),
+		LostFeeds:      int(fs.lost.Value()),
+		ReplayedFrames: int(fs.replayed.Value()),
+		DeltaSyncs:     fs.deltaSyncs.Value(),
+		SyncRetries:    fs.retries.Value(),
 		Failovers:      failovers,
 		Degraded:       c.coord.Degraded(),
 	}

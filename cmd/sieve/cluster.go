@@ -12,6 +12,7 @@ import (
 	"sieve"
 	"sieve/internal/nn"
 	"sieve/internal/synth"
+	"sieve/internal/telemetry/debughttp"
 	"sieve/internal/tuner"
 )
 
@@ -42,6 +43,14 @@ ledger and any sites left degraded. The script grammar is
 kind:site:feed@frame[:factor] (kinds: crash, recover, linkdown, linkup,
 degrade, skew), semicolon-separated.
 
+The run is observable without being perturbed: -debug-addr serves live
+Prometheus metrics at /metrics (plus /debug/pprof/ and /debug/vars)
+while the run lasts, and -trace writes a frame-anchored Chrome trace
+loadable in Perfetto (summarise it with 'sieve trace'). Under the
+default virtual trace clock the trace file is byte-identical run to
+run, exactly like the merged results; -trace-clock wall turns it into a
+real profile instead.
+
 examples:
   sieve cluster -feeds 6 -sites 3                 # hash sharding, 30 Mbps uplinks
   sieve cluster -feeds 8 -sites 4 -sharder leastbusy
@@ -53,6 +62,8 @@ examples:
                   # kill site1 mid-run; its feeds replay onto survivors
   sieve cluster -feeds 4 -sites 2 -faults 'linkdown:site0:cam0-jackson_square@20;linkup:site0:cam0-jackson_square@60'
                   # partition site0's uplink for 40 frames, then heal it
+  sieve cluster -feeds 6 -sites 3 -trace trace.json -debug-addr :0
+                  # live /metrics + pprof during the run, Perfetto trace after
 
 flags:
 `
@@ -79,6 +90,9 @@ func cmdCluster(args []string) {
 	faults := fs.String("faults", "", "deterministic fault script: kind:site:feed@frame[:factor], semicolon-separated")
 	syncEvery := fs.Int("sync-every", 8, "ship incremental shard deltas to the cloud every N detections")
 	out := fs.String("out", "", "write the merged results database JSON here (optional)")
+	traceOut := fs.String("trace", "", "write a frame-anchored Chrome trace_event JSON profile here (optional)")
+	traceClock := fs.String("trace-clock", "virtual", "trace timestamp source: virtual (byte-identical run to run) or wall (real profile)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars here while the run lasts (:0 picks a port)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	_ = fs.Parse(args)
 	if *feeds < 1 || *sites < 1 {
@@ -109,11 +123,30 @@ func cmdCluster(args []string) {
 		log.Fatal("-batch needs -detect (there is no inference to batch)")
 	}
 
+	// The registry is always attached: recording is allocation-free, the
+	// stats snapshot reads through it anyway, and it is what -debug-addr
+	// scrapes mid-run.
+	reg := sieve.NewRegistry()
 	copts := []sieve.ClusterOption{
 		sieve.WithSharder(sharder),
 		sieve.WithSiteWorkers(*workers),
 		sieve.WithUplink(*uplinkMbps*1e6, *latency),
 		sieve.WithDeltaSync(*syncEvery, 4),
+		sieve.WithClusterTelemetry(reg),
+	}
+	var tracer *sieve.Tracer
+	if *traceOut != "" {
+		var tclk sieve.Clock
+		switch *traceClock {
+		case "virtual":
+			tclk = sieve.NewVirtualClock(time.Unix(0, 0).UTC())
+		case "wall":
+			// nil selects the wall clock inside NewTracer.
+		default:
+			log.Fatalf("unknown -trace-clock %q (want virtual or wall)", *traceClock)
+		}
+		tracer = sieve.NewTracer(tclk)
+		copts = append(copts, sieve.WithClusterTrace(tracer))
 	}
 	var plan *sieve.FaultPlan
 	if *faults != "" {
@@ -131,6 +164,14 @@ func cmdCluster(args []string) {
 	c, err := sieve.NewCluster(*sites, copts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		dbg, err := debughttp.Start(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug surface on http://%s  (/metrics, /debug/pprof/, /debug/vars)\n", dbg.Addr())
 	}
 
 	presets := synth.AllPresets()
@@ -267,6 +308,21 @@ func cmdCluster(args []string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote merged results database to %s\n", *out)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace spans to %s — load in Perfetto or chrome://tracing, or run 'sieve trace %s'\n",
+			tracer.Len(), *traceOut, *traceOut)
 	}
 	if runErr != nil {
 		log.Fatal(runErr)

@@ -11,6 +11,7 @@ import (
 
 	"sieve"
 	"sieve/internal/synth"
+	"sieve/internal/telemetry/debughttp"
 )
 
 const serveUsage = `usage: sieve serve [flags]
@@ -21,6 +22,11 @@ window stays open until -feeds cameras have said HELLO (capped by
 -max-feeds); the run then starts, RESUME reconnects keep working, and
 late HELLOs are rejected. When every feed finalises, the server prints a
 per-feed report plus the ingest-plane counters and exits.
+
+With -debug-addr the hub's metrics registry (per-feed sieve_* families
+plus the sieve_ingest_* plane counters) is scrapable at /metrics in
+Prometheus text format while the server runs, alongside /debug/pprof/
+and /debug/vars.
 
 Pair it with 'sieve push' from another terminal (or another machine):
 
@@ -55,6 +61,7 @@ func cmdServe(args []string) {
 	policy := fs.String("policy", "backpressure", "overload policy: backpressure, reject-new or drop-oldest-gop")
 	maxFrames := fs.Int64("max-frames", 0, "per-feed frame quota (0 = unlimited)")
 	maxBytes := fs.Int64("max-bytes", 0, "per-feed raw-byte quota (0 = unlimited)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars here while the server runs (:0 picks a port)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	_ = fs.Parse(args)
 	if *feeds < 1 {
@@ -83,6 +90,14 @@ func cmdServe(args []string) {
 		sieve.WithOverloadPolicy(pol),
 		sieve.WithFeedQuota(*maxFrames, *maxBytes))
 	hub := sieve.NewHub(sieve.WithListener(lst))
+	if *debugAddr != "" {
+		dbg, err := debughttp.Start(*debugAddr, hub.Telemetry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug surface on http://%s  (/metrics, /debug/pprof/, /debug/vars)\n", dbg.Addr())
+	}
 	fmt.Printf("listening on %s — waiting for %d feed(s), policy %s\n", lst.Addr(), *feeds, pol)
 
 	counts := make(map[string]int)

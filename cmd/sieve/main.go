@@ -11,8 +11,10 @@
 //	sieve stream -feeds 3                      # concurrent synth+replay+push feeds
 //	sieve stream -feeds 3 -gop 50 -scenecut 200 -realtime
 //	sieve cluster -feeds 6 -sites 3            # sharded edge sites + cloud merge
+//	sieve cluster -feeds 6 -sites 3 -trace trace.json -debug-addr :0
 //	sieve serve  -addr 127.0.0.1:7700 -feeds 2 # network ingest plane (SVWP server)
 //	sieve push   -addr 127.0.0.1:7700 -dataset jackson_square
+//	sieve trace  trace.json                    # summarise a cluster -trace profile
 //	sieve seek   -in feed.svf
 //	sieve info   -in feed.svf
 //
@@ -58,6 +60,8 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "push":
 		cmdPush(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	case "seek":
 		cmdSeek(os.Args[2:])
 	case "info":
@@ -68,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|cluster|serve|push|seek|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sieve <gen|encode|tune|stream|cluster|serve|push|trace|seek|info> [flags]
 
   gen      render a synthetic preset and encode it with default parameters
   encode   render and encode with explicit -gop/-scenecut
@@ -77,6 +81,7 @@ func usage() {
   cluster  shard N feeds over K edge sites with a cloud results-merge plane
   serve    listen for SVWP camera connections and ingest them as hub feeds
   push     stream a synthetic feed to a serve instance, resuming on drops
+  trace    validate and summarise a Chrome trace written by cluster -trace
   seek     list a stream's I-frames from metadata only
   info     print a stream's header and byte accounting
 

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"sieve"
+)
+
+const traceUsage = `usage: sieve trace <file.json>
+
+Summarise a Chrome trace_event JSON profile written by
+'sieve cluster -trace' (or any Tracer.WriteChrome output): validate the
+structure, then print the span count, the sites and feeds present, and
+a per-stage table. The file itself loads directly in Perfetto
+(ui.perfetto.dev) or chrome://tracing; this command is the scriptable
+round-trip check. Under the default virtual trace clock every span has
+zero duration — the trace then reads as a frame-anchored event log, and
+the totals column only carries signal with -trace-clock wall.
+
+flags:
+`
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, traceUsage)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := sieve.SummarizeChromeTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d spans, %d site(s), %d feed(s)\n",
+		path, sum.Events, len(sum.Sites), len(sum.Feeds))
+	if len(sum.Sites) > 0 {
+		fmt.Printf("sites: %s\n", strings.Join(sum.Sites, ", "))
+	}
+	if len(sum.Feeds) > 0 {
+		fmt.Printf("feeds: %s\n", strings.Join(sum.Feeds, ", "))
+	}
+	fmt.Printf("%-8s %8s %14s\n", "stage", "spans", "total")
+	for _, sc := range sum.Stages {
+		fmt.Printf("%-8s %8d %14s\n", sc.Stage, sc.Count, sc.Total.Round(time.Microsecond))
+	}
+}

@@ -16,6 +16,8 @@
 //	sievebench -exp table2 -seconds 120
 //	sievebench -exp fig3 -dataset jackson_square
 //	sievebench -exp fig4,fig5 -timeout 10m  # e2e experiments share asset prep
+//	sievebench -suite smoke -json BENCH_smoke.json  # machine-readable perf point
+//	sievebench -check BENCH_smoke.json              # schema-validate a report
 package main
 
 import (
@@ -43,6 +45,9 @@ func main() {
 		fps      = flag.Int("fps", 0, "synthetic feed fps (default 10)")
 		parallel = flag.Int("parallel", 0, "worker pool size (default GOMAXPROCS; 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		suite    = flag.String("suite", "", "run a measured suite (smoke|session|cluster) instead of -exp")
+		jsonOut  = flag.String("json", "", "with -suite: write the machine-readable BENCH_<suite>.json here")
+		check    = flag.String("check", "", "validate an existing BENCH_<suite>.json against the schema and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -64,6 +69,11 @@ micro-benchmark suites (run via make, not -exp):
                  inference plane scheduling overhead)
   bench-ingest   BenchmarkWireIngest — SVWP wire ingest over an in-memory
                  transport vs the same feed added in-process
+
+measured suites (-suite, optionally -json BENCH_<suite>.json, see make obs-smoke):
+  smoke     CI-sized end-to-end points: session encode + 2-site cluster run
+  session   30s single-feed streaming encode
+  cluster   6 feeds over 3 edge sites with cloud merge
 `)
 		return
 	}
@@ -76,6 +86,18 @@ micro-benchmark suites (run via make, not -exp):
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *check != "" {
+		checkReport(*check)
+		return
+	}
+	if *suite != "" {
+		runSuite(ctx, *suite, *jsonOut)
+		return
+	}
+	if *jsonOut != "" {
+		log.Fatal("-json needs -suite (the paper experiments render text, not BENCH JSON)")
 	}
 
 	known := map[string]bool{

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"sieve"
+	"sieve/internal/synth"
+)
+
+// A workload is one named end-to-end measurement: run the pipeline once
+// and report frames processed plus the run's filter rate. Setup (synth
+// rendering, detector-free cluster construction) happens inside the run
+// on purpose — suite numbers are end-to-end trajectory points, not
+// micro-benchmarks; the per-op zero-alloc contracts are pinned by the
+// noalloc analyzer and the testing.AllocsPerRun tests instead.
+type workload struct {
+	name string
+	run  func(ctx context.Context) (frames int, filterRate float64, err error)
+}
+
+// suites are the -suite definitions. smoke is sized for CI (a few
+// seconds on one core); session and cluster are the longer
+// single-plane measurements.
+var suites = map[string][]workload{
+	"smoke": {
+		{"session_encode", sessionWorkload(5, 5)},
+		{"cluster_run", clusterWorkload(2, 4, 4, 5)},
+	},
+	"session": {
+		{"session_encode", sessionWorkload(30, 10)},
+	},
+	"cluster": {
+		{"cluster_run", clusterWorkload(3, 6, 10, 5)},
+	},
+}
+
+// runSuite executes one measured suite, prints the human table and
+// optionally writes the machine-readable BENCH_<suite>.json.
+func runSuite(ctx context.Context, name, jsonOut string) {
+	ws, ok := suites[name]
+	if !ok {
+		log.Fatalf("unknown suite %q (want smoke, session or cluster)", name)
+	}
+	var results []sieve.BenchResult
+	for _, w := range ws {
+		res, err := measure(ctx, w)
+		if err != nil {
+			fatalf("suite %s: %s: %v", name, w.name, err)
+		}
+		results = append(results, res)
+	}
+	report := &sieve.BenchReport{
+		Suite:     name,
+		GoVersion: runtime.Version(),
+		// The CLI stamps wall time; the telemetry package itself stays
+		// deterministic.
+		Unix:    time.Now().Unix(),
+		Results: results,
+	}
+	fmt.Printf("suite %s (%s)\n", name, report.GoVersion)
+	fmt.Printf("%-16s %8s %12s %12s %14s %10s %8s\n",
+		"name", "frames", "ns/frame", "frames/sec", "allocs/frame", "B/frame", "filter")
+	for _, r := range report.Results {
+		fmt.Printf("%-16s %8d %12.0f %12.1f %14d %10d %8.4f\n",
+			r.Name, r.N, r.NsPerFrame, r.FramesPerSec, r.AllocsPerOp, r.BytesPerOp, r.FilterRate)
+	}
+	if jsonOut != "" {
+		if err := report.Save(jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+}
+
+// measure runs one workload, reading wall time and the runtime
+// allocator's counters around it. The memory deltas are process-wide
+// (the cluster workload is concurrent by design), so allocs/frame is a
+// macro reading of the whole pipeline.
+func measure(ctx context.Context, w workload) (sieve.BenchResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	frames, filter, err := w.run(ctx)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return sieve.BenchResult{}, err
+	}
+	if frames <= 0 {
+		return sieve.BenchResult{}, fmt.Errorf("no frames processed")
+	}
+	nsPerFrame := float64(wall.Nanoseconds()) / float64(frames)
+	return sieve.BenchResult{
+		Name:         w.name,
+		N:            frames,
+		NsPerOp:      nsPerFrame,
+		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(frames),
+		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(frames),
+		NsPerFrame:   nsPerFrame,
+		FramesPerSec: float64(frames) / wall.Seconds(),
+		FilterRate:   filter,
+	}, nil
+}
+
+// sessionWorkload streams one synthetic feed through a sinkless Session:
+// render, semantic encode, I-frame filter.
+func sessionWorkload(seconds, fps int) func(context.Context) (int, float64, error) {
+	return func(ctx context.Context) (int, float64, error) {
+		v, err := synth.Preset(synth.JacksonSquare, synth.PresetOpts{Seconds: seconds, FPS: fps, Seed: 1})
+		if err != nil {
+			return 0, 0, err
+		}
+		sess, err := sieve.NewSession(sieve.NewSynthSource(v), sieve.WithName("bench"),
+			sieve.WithClock(sieve.NewVirtualClock(time.Unix(0, 0).UTC())))
+		if err != nil {
+			return 0, 0, err
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range sess.Events() {
+			}
+		}()
+		runErr := sess.Run(ctx)
+		<-done
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		st := sess.Stats()
+		return st.Frames, st.FilterRate(), nil
+	}
+}
+
+// clusterWorkload shards feeds over edge sites with uplink metering,
+// edge archival and the cloud merge — the full multi-site path, minus
+// detector training (inference has its own bench-infer suite).
+func clusterWorkload(sites, feeds, seconds, fps int) func(context.Context) (int, float64, error) {
+	return func(ctx context.Context) (int, float64, error) {
+		c, err := sieve.NewCluster(sites)
+		if err != nil {
+			return 0, 0, err
+		}
+		presets := synth.AllPresets()
+		for i := 0; i < feeds; i++ {
+			preset := presets[i%len(presets)]
+			v, err := synth.Preset(preset, synth.PresetOpts{Seconds: seconds, FPS: fps, Seed: uint64(i + 1)})
+			if err != nil {
+				return 0, 0, err
+			}
+			if _, _, err := c.AddFeed(fmt.Sprintf("cam%d-%s", i, preset), sieve.NewSynthSource(v),
+				sieve.WithClock(sieve.NewVirtualClock(time.Unix(0, 0).UTC()))); err != nil {
+				return 0, 0, err
+			}
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range c.Events() {
+			}
+		}()
+		runErr := c.Run(ctx)
+		<-drained
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		st := c.Snapshot()
+		return st.Frames, st.FilterRate(), nil
+	}
+}
+
+// checkReport validates an existing BENCH_<suite>.json against the
+// schema and prints its rows — the scriptable half of the obs-smoke CI
+// round trip.
+func checkReport(path string) {
+	r, err := sieve.LoadBenchReport(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: suite %s, %d result(s), schema ok\n", path, r.Suite, len(r.Results))
+	for _, res := range r.Results {
+		fmt.Printf("  %-16s n=%d ns/op=%.0f allocs/op=%d\n", res.Name, res.N, res.NsPerOp, res.AllocsPerOp)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sieve/internal/analysis/detmap"
 	"sieve/internal/analysis/noalloc"
 	"sieve/internal/analysis/sentinel"
+	"sieve/internal/analysis/telemetrylint"
 	"sieve/internal/analysis/wireexhaustive"
 )
 
@@ -39,6 +40,7 @@ var all = []*analysis.Analyzer{
 	detmap.Analyzer,
 	noalloc.Analyzer,
 	sentinel.Analyzer,
+	telemetrylint.Analyzer,
 	wireexhaustive.Analyzer,
 }
 
@@ -65,6 +67,7 @@ var deterministicPkgs = map[string]bool{
 	"sieve/internal/retry":       true, // backoff sleeps through the injected Sleeper
 	"sieve/internal/store":       true,
 	"sieve/internal/synth":       true,
+	"sieve/internal/telemetry":   true, // span timestamps flow through the injected clock
 	"sieve/internal/transform":   true,
 	"sieve/internal/tuner":       true,
 	"sieve/internal/vision":      true,

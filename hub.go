@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sieve/internal/runner"
+	"sieve/internal/telemetry"
 )
 
 // Lifecycle errors shared by Hub and Cluster. They are wrapped with
@@ -65,6 +66,29 @@ func WithHubPlane(p *InferencePlane) HubOption {
 	return func(h *Hub) { h.plane = p }
 }
 
+// WithHubTelemetry shares one metrics registry across the hub: every feed
+// added afterwards records its per-feed series into reg (see
+// WithTelemetry), and the hub's inference and ingest planes register their
+// counters there too. Without it the hub owns a private registry, exposed
+// by Telemetry() — the stats structs are views over the registry either
+// way.
+func WithHubTelemetry(reg *Registry) HubOption {
+	return func(h *Hub) { h.reg = reg }
+}
+
+// WithHubTrace records every feed's pipeline spans into t (see
+// WithTracer). A nil tracer disables tracing.
+func WithHubTrace(t *Tracer) HubOption {
+	return func(h *Hub) { h.tracer = t }
+}
+
+// withHubSite names the edge site this hub embodies: feed series gain a
+// {site} label and spans render under the site's process in the exported
+// trace. Threaded by Cluster when it builds its per-site hubs.
+func withHubSite(name string) HubOption {
+	return func(h *Hub) { h.site = name }
+}
+
 // WithListener attaches a network ingest plane: Run first opens the
 // listener's admission window, accepting wire feeds (each HELLO becomes
 // a hub feed fed by its connection) until the expected count is reached,
@@ -118,8 +142,11 @@ func (st HubStats) FilterRate() float64 {
 type Hub struct {
 	pool    *runner.Pool
 	bufSize int
-	plane   *InferencePlane // shared inference plane, nil = per-feed config
-	ingest  *IngestListener // network ingest plane, nil = in-process only
+	plane   *InferencePlane     // shared inference plane, nil = per-feed config
+	ingest  *IngestListener     // network ingest plane, nil = in-process only
+	reg     *telemetry.Registry // shared metrics registry (private by default)
+	tracer  *telemetry.Tracer   // span recorder, nil = tracing off
+	site    string              // owning site label, "" for a plain hub
 
 	mu      sync.Mutex
 	feeds   []*hubFeed
@@ -140,9 +167,35 @@ func NewHub(opts ...HubOption) *Hub {
 	for _, opt := range opts {
 		opt(h)
 	}
+	if h.reg == nil {
+		h.reg = telemetry.NewRegistry()
+	}
+	// Bind the shared planes' counters into the hub registry now, before
+	// any traffic: construction-time registration is the zero-alloc
+	// recording contract, and the planes' accumulated counts are still
+	// zero, so rebinding transfers nothing.
+	if h.plane != nil {
+		h.plane.p.Instrument(h.reg, siteSeriesLabels(h.site)...)
+	}
+	if h.ingest != nil {
+		h.ingest.instrument(h.reg)
+	}
 	h.events = make(chan Event, h.bufSize)
 	return h
 }
+
+// siteSeriesLabels is the {site} label set for site-scoped planes (empty
+// for a plain hub, whose series carry no site dimension).
+func siteSeriesLabels(site string) []MetricLabel {
+	if site == "" {
+		return nil
+	}
+	return []MetricLabel{telemetry.L("site", site)}
+}
+
+// Telemetry returns the hub's metrics registry (the one shared via
+// WithHubTelemetry, or the hub's private default).
+func (h *Hub) Telemetry() *Registry { return h.reg }
 
 // Add registers a feed: a named session over src, configured like any
 // Session (the name overrides WithName). Feeds cannot be added once Run has
@@ -158,10 +211,12 @@ func (h *Hub) Add(name string, src FrameSource, opts ...SessionOption) (*Session
 			return nil, fmt.Errorf("sieve: hub: duplicate feed %q", name)
 		}
 	}
+	// Prepended so a feed's own inference and telemetry options still win.
+	shared := []SessionOption{WithTelemetry(h.reg), WithTracer(h.tracer), withTraceSite(h.site)}
 	if h.plane != nil {
-		// Prepended so a feed's own inference options still win.
-		opts = append([]SessionOption{WithInferencePlane(h.plane)}, opts...)
+		shared = append(shared, WithInferencePlane(h.plane))
 	}
+	opts = append(shared, opts...)
 	opts = append(opts[:len(opts):len(opts)], WithName(name))
 	sess, err := NewSession(src, opts...)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sieve/internal/container"
 	"sieve/internal/frame"
 	"sieve/internal/store"
+	"sieve/internal/telemetry"
 	"sieve/internal/wire"
 )
 
@@ -194,17 +195,80 @@ type IngestListener struct {
 	ln  net.Listener
 	cfg ingestConfig
 
-	mu        sync.Mutex
-	target    ingestTarget
-	runCtx    context.Context
-	feeds     map[string]*wireFeed
-	order     []string // admission order, for deterministic reporting
-	open      bool     // admission window open
-	ended     bool     // run finished; resumes impossible
-	started   bool
-	admitWake chan struct{}
-	stats     IngestStats
-	conns     map[net.Conn]struct{} // live raw conns, closed by Close
+	mu           sync.Mutex
+	target       ingestTarget
+	runCtx       context.Context
+	feeds        map[string]*wireFeed
+	order        []string // admission order, for deterministic reporting
+	open         bool     // admission window open
+	ended        bool     // run finished; resumes impossible
+	started      bool
+	admitWake    chan struct{}
+	ctr          ingestCounters        // telemetry instruments behind IngestStats
+	instrumented bool                  // counters rebound into a shared registry
+	conns        map[net.Conn]struct{} // live raw conns, closed by Close
+}
+
+// ingestCounters are the plane's telemetry instruments: free-standing at
+// construction, rebound into the owning hub's or cluster's registry by
+// instrument(). IngestStats is the snapshot view over them.
+type ingestCounters struct {
+	feedsAdmitted  *telemetry.Counter
+	feedsRejected  *telemetry.Counter
+	reconnects     *telemetry.Counter
+	framesReceived *telemetry.Counter
+	bytesReceived  *telemetry.Counter
+	duplicates     *telemetry.Counter
+	skipped        *telemetry.Counter
+	shed           *telemetry.Counter
+	evicted        *telemetry.Counter
+	acksSent       *telemetry.Counter
+	acksDropped    *telemetry.Counter
+}
+
+func newIngestCounters() ingestCounters {
+	return ingestCounters{
+		feedsAdmitted: &telemetry.Counter{}, feedsRejected: &telemetry.Counter{},
+		reconnects: &telemetry.Counter{}, framesReceived: &telemetry.Counter{},
+		bytesReceived: &telemetry.Counter{}, duplicates: &telemetry.Counter{},
+		skipped: &telemetry.Counter{}, shed: &telemetry.Counter{},
+		evicted: &telemetry.Counter{}, acksSent: &telemetry.Counter{},
+		acksDropped: &telemetry.Counter{},
+	}
+}
+
+// instrument rebinds the plane's counters into reg. Called by
+// NewHub/NewCluster at construction — before the listener accepts
+// anything, so all counts are still zero and rebinding transfers nothing;
+// the accumulated values are carried over regardless. First registry wins.
+func (l *IngestListener) instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Describe("sieve_ingest_frames_received_total", "frames accepted into ingest queues")
+	reg.Describe("sieve_ingest_bytes_received_total", "raw pixel bytes accepted into ingest queues")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.instrumented {
+		return
+	}
+	l.instrumented = true
+	bind := func(dst **telemetry.Counter, name string) {
+		c := reg.Counter(name)
+		c.Add((*dst).Value())
+		*dst = c
+	}
+	bind(&l.ctr.feedsAdmitted, "sieve_ingest_feeds_admitted_total")
+	bind(&l.ctr.feedsRejected, "sieve_ingest_feeds_rejected_total")
+	bind(&l.ctr.reconnects, "sieve_ingest_reconnects_total")
+	bind(&l.ctr.framesReceived, "sieve_ingest_frames_received_total")
+	bind(&l.ctr.bytesReceived, "sieve_ingest_bytes_received_total")
+	bind(&l.ctr.duplicates, "sieve_ingest_duplicates_total")
+	bind(&l.ctr.skipped, "sieve_ingest_skipped_total")
+	bind(&l.ctr.shed, "sieve_ingest_shed_total")
+	bind(&l.ctr.evicted, "sieve_ingest_evicted_total")
+	bind(&l.ctr.acksSent, "sieve_ingest_acks_sent_total")
+	bind(&l.ctr.acksDropped, "sieve_ingest_acks_dropped_total")
 }
 
 // MemListener is an in-process net.Listener over synchronous pipes —
@@ -235,6 +299,7 @@ func NewIngestListener(ln net.Listener, opts ...IngestOption) *IngestListener {
 		cfg:       cfg,
 		feeds:     make(map[string]*wireFeed),
 		admitWake: make(chan struct{}, 1),
+		ctr:       newIngestCounters(),
 		conns:     make(map[net.Conn]struct{}),
 	}
 }
@@ -247,10 +312,26 @@ func (l *IngestListener) Addr() net.Addr { return l.ln.Addr() }
 func (l *IngestListener) Store() *EdgeStoreDB { return l.cfg.store }
 
 // Stats returns a counters snapshot; safe to call at any time.
+// IngestStats is a view over the plane's telemetry instruments: each
+// counter is read atomically, the snapshot as a whole is not a frozen
+// cross-counter cut (the standard monitoring contract).
 func (l *IngestListener) Stats() IngestStats {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	c := l.ctr
+	l.mu.Unlock()
+	return IngestStats{
+		FeedsAdmitted:  int(c.feedsAdmitted.Value()),
+		FeedsRejected:  int(c.feedsRejected.Value()),
+		Reconnects:     int(c.reconnects.Value()),
+		FramesReceived: c.framesReceived.Value(),
+		BytesReceived:  c.bytesReceived.Value(),
+		Duplicates:     c.duplicates.Value(),
+		Skipped:        c.skipped.Value(),
+		Shed:           c.shed.Value(),
+		Evicted:        c.evicted.Value(),
+		AcksSent:       c.acksSent.Value(),
+		AcksDropped:    c.acksDropped.Value(),
+	}
 }
 
 // Close shuts the ingest plane down: the net listener stops accepting
@@ -306,7 +387,7 @@ func (l *IngestListener) awaitAdmission(ctx context.Context) error {
 	}
 	for {
 		l.mu.Lock()
-		n := l.stats.FeedsAdmitted
+		n := int(l.ctr.feedsAdmitted.Value())
 		if n >= want {
 			l.open = false
 			l.mu.Unlock()
@@ -357,9 +438,7 @@ func (l *IngestListener) acceptLoop() {
 func (l *IngestListener) reject(c *wire.Conn, code wire.ErrCode, format string, args ...any) {
 	c.SendError(wire.ErrorMsg{Code: code, Msg: fmt.Sprintf(format, args...)})
 	c.Close()
-	l.mu.Lock()
-	l.stats.FeedsRejected++
-	l.mu.Unlock()
+	l.count(func(c *ingestCounters) { c.feedsRejected.Inc() })
 }
 
 func (l *IngestListener) handleConn(nc net.Conn) {
@@ -414,9 +493,7 @@ func (l *IngestListener) handleConn(nc net.Conn) {
 			c.Close()
 			return
 		}
-		l.mu.Lock()
-		l.stats.Reconnects++
-		l.mu.Unlock()
+		l.count(func(c *ingestCounters) { c.reconnects.Inc() })
 		l.serveFrames(f, c)
 	default:
 		l.reject(c, wire.ErrCodeProtocol, "connection must open with HELLO or RESUME, got %s", t)
@@ -467,7 +544,7 @@ func (l *IngestListener) admitFeed(h wire.Hello) (*wireFeed, wire.ErrCode, strin
 	// so the map stays consistent with the target's feed set.
 	l.feeds[h.Feed] = f
 	l.order = append(l.order, h.Feed)
-	l.stats.FeedsAdmitted++
+	l.ctr.feedsAdmitted.Inc()
 	l.mu.Unlock()
 	select {
 	case l.admitWake <- struct{}{}:
@@ -593,7 +670,7 @@ func (l *IngestListener) acceptFrame(f *wireFeed, c *wire.Conn, payload []byte) 
 		// (or queued for it); dropping it here is what makes resends
 		// idempotent.
 		f.mu.Unlock()
-		l.count(func(s *IngestStats) { s.Duplicates++ })
+		l.count(func(c *ingestCounters) { c.duplicates.Inc() })
 		return nil
 	}
 	if idx > next {
@@ -601,7 +678,7 @@ func (l *IngestListener) acceptFrame(f *wireFeed, c *wire.Conn, payload []byte) 
 		// that cannot rewind past a disconnect. The stream continues but
 		// must restart prediction (discontinuity rule).
 		f.pendingGap = true
-		l.count(func(s *IngestStats) { s.Skipped += idx - next })
+		l.count(func(c *ingestCounters) { c.skipped.Add(idx - next) })
 	}
 	if (l.cfg.maxFrames > 0 && f.recvFrames+1 > l.cfg.maxFrames) ||
 		(l.cfg.maxBytes > 0 && f.recvBytes+rawBytes > l.cfg.maxBytes) {
@@ -644,7 +721,7 @@ func (l *IngestListener) acceptFrame(f *wireFeed, c *wire.Conn, payload []byte) 
 			f.pendingGap = true
 			f.next = idx + 1
 			f.mu.Unlock()
-			l.count(func(s *IngestStats) { s.Shed++ })
+			l.count(func(c *ingestCounters) { c.shed.Inc() })
 			c.SendDrain(wire.Drain{Code: wire.DrainShed, Frame: idx, Count: 1})
 			return nil
 		}
@@ -667,7 +744,7 @@ func (l *IngestListener) acceptFrame(f *wireFeed, c *wire.Conn, payload []byte) 
 			for _, ev := range evicted {
 				f.putBuf(ev.F)
 			}
-			l.count(func(s *IngestStats) { s.Evicted += int64(len(evicted)) })
+			l.count(func(c *ingestCounters) { c.evicted.Add(int64(len(evicted))) })
 			if len(evicted) > 0 {
 				c.SendDrain(wire.Drain{Code: wire.DrainEvicted,
 					Frame: evicted[0].Index, Count: len(evicted)})
@@ -698,14 +775,17 @@ func (l *IngestListener) acceptFrame(f *wireFeed, c *wire.Conn, payload []byte) 
 		f.recvBytes += rawBytes
 		f.pending = append(f.pending, idx)
 		f.mu.Unlock()
-		l.count(func(s *IngestStats) { s.FramesReceived++; s.BytesReceived += rawBytes })
+		l.count(func(c *ingestCounters) { c.framesReceived.Inc(); c.bytesReceived.Add(rawBytes) })
 	}
 	return nil
 }
 
-func (l *IngestListener) count(fn func(*IngestStats)) {
+// count runs fn over the instrument set under the listener lock (the lock
+// orders the pointer reads against instrument()'s rebinding, not the
+// increments themselves — those are atomic).
+func (l *IngestListener) count(fn func(*ingestCounters)) {
 	l.mu.Lock()
-	fn(&l.stats)
+	fn(&l.ctr)
 	l.mu.Unlock()
 }
 
@@ -829,15 +909,15 @@ func (f *wireFeed) onEvent(ev Event) {
 		return
 	}
 	if conn == nil {
-		f.lst.count(func(s *IngestStats) { s.AcksDropped++ })
+		f.lst.count(func(c *ingestCounters) { c.acksDropped.Inc() })
 		return
 	}
 	if err := conn.SendAck(wire.Ack{Frame: srcIdx, Type: uint8(ev.FrameType)}); err != nil {
 		f.detach(conn)
-		f.lst.count(func(s *IngestStats) { s.AcksDropped++ })
+		f.lst.count(func(c *ingestCounters) { c.acksDropped.Inc() })
 		return
 	}
-	f.lst.count(func(s *IngestStats) { s.AcksSent++ })
+	f.lst.count(func(c *ingestCounters) { c.acksSent.Inc() })
 }
 
 // finish is the session completion callback: archive the stream (hub

@@ -1,0 +1,110 @@
+// Package telemetrylint enforces the telemetry plane's registration
+// discipline: instruments are registered at construction time, never in
+// record paths. Registry.Counter/Gauge/Histogram (and Describe/OnCollect)
+// take the registry lock and may allocate a new series — acceptable once
+// per component, a determinism-safe zero-allocation contract violation
+// when it happens per frame.
+//
+// The analyzer flags any call to a registration method on
+// sieve/internal/telemetry.Registry inside a function annotated
+// //sieve:noalloc — exactly the functions the noalloc analyzer pins as
+// steady-state record paths. Instrument the hot path by holding the
+// *Counter/*Gauge/*Histogram pointers obtained at construction and calling
+// their Inc/Add/Set/Observe methods, which are lock-free and
+// allocation-free. A deliberate exception (there are none today) would
+// carry //sieve:allowalloc with a justification, the same escape hatch
+// noalloc uses — registration IS allocation.
+package telemetrylint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sieve/internal/analysis"
+	"sieve/internal/analysis/noalloc"
+)
+
+// Analyzer is the telemetry pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetry",
+	Doc:  "flag instrument registration inside //sieve:noalloc record paths",
+	Run:  run,
+}
+
+// registryPath is the package whose Registry type carries the
+// registration methods (the root package's Registry is an alias of it, so
+// calls through either spelling resolve to the same named type).
+const registryPath = "sieve/internal/telemetry"
+
+// registrationMethods are the Registry methods that mutate the series
+// table: they lock, may allocate, and belong in constructors.
+var registrationMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Describe":  true,
+	"OnCollect": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.FuncHasDirective(fd, noalloc.Directive) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, recv := registryMethod(pass, call)
+				if method == "" {
+					return true
+				}
+				if pass.HasDirective(call.Pos(), noalloc.AllowDirective) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"registry registration %s.%s inside //sieve:noalloc function %s: register instruments at construction and record through the returned pointer",
+					recv, method, fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// registryMethod reports the registration method a call invokes on a
+// telemetry.Registry receiver ("" when the call is anything else), plus
+// the receiver expression for the diagnostic.
+func registryMethod(pass *analysis.Pass, call *ast.CallExpr) (method, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registrationMethods[sel.Sel.Name] {
+		return "", ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	// Unalias on both sides of the pointer deref: the root package
+	// re-exports Registry as a type alias, and go/types materializes
+	// aliases as *types.Alias, which would slip past the Named assertion.
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Path() != registryPath {
+		return "", ""
+	}
+	name := analysis.BasePath(sel.X)
+	if name == "" {
+		name = "Registry"
+	}
+	return sel.Sel.Name, name
+}

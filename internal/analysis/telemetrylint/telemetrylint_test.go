@@ -1,0 +1,12 @@
+package telemetrylint_test
+
+import (
+	"testing"
+
+	"sieve/internal/analysis/analysistest"
+	"sieve/internal/analysis/telemetrylint"
+)
+
+func TestTelemetrylint(t *testing.T) {
+	analysistest.Run(t, "testdata/src/telemetrylint", telemetrylint.Analyzer)
+}

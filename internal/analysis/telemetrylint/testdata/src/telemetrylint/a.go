@@ -1,0 +1,59 @@
+package fixture
+
+import "sieve/internal/telemetry"
+
+// recorder holds instruments bound at construction — the sanctioned shape.
+type recorder struct {
+	reg    *telemetry.Registry
+	frames *telemetry.Counter
+	depth  *telemetry.Gauge
+	sizes  *telemetry.Histogram
+}
+
+// newRecorder registers at construction time: no directive, no findings.
+func newRecorder(reg *telemetry.Registry) *recorder {
+	reg.Describe("fixture_frames_total", "frames recorded")
+	return &recorder{
+		reg:    reg,
+		frames: reg.Counter("fixture_frames_total"),
+		depth:  reg.Gauge("fixture_depth"),
+		sizes:  reg.Histogram("fixture_bytes", []int64{16, 256}),
+	}
+}
+
+// record is a steady-state path recording through held pointers: clean.
+//
+//sieve:noalloc record path
+func (r *recorder) record(n int64) {
+	r.frames.Inc()
+	r.depth.Set(n)
+	r.sizes.Observe(n)
+}
+
+// recordLazily registers on the hot path — the bug this analyzer exists
+// for: the lookup takes the registry lock every frame.
+//
+//sieve:noalloc record path
+func (r *recorder) recordLazily(n int64) {
+	r.reg.Counter("fixture_frames_total").Add(n) // want "registry registration r.reg.Counter inside //sieve:noalloc function recordLazily"
+	r.reg.Gauge("fixture_depth").Set(n)          // want "registry registration r.reg.Gauge inside //sieve:noalloc function recordLazily"
+}
+
+// describeHot attaches help text per record: same violation class.
+//
+//sieve:noalloc record path
+func describeHot(reg *telemetry.Registry) {
+	reg.Describe("fixture_frames_total", "late help") // want "registry registration reg.Describe inside //sieve:noalloc function describeHot"
+	reg.OnCollect(func() {})                          // want "registry registration reg.OnCollect inside //sieve:noalloc function describeHot"
+}
+
+// RegAlias mirrors the root facade's re-export: registration through a
+// type alias must still resolve to the telemetry Registry.
+type RegAlias = telemetry.Registry
+
+// recordViaAlias registers through the alias on the hot path: flagged.
+//
+//sieve:noalloc record path
+func recordViaAlias(reg *RegAlias, n int64) {
+	reg.Counter("fixture_frames_total").Add(n) // want "registry registration reg.Counter inside //sieve:noalloc function recordViaAlias"
+}

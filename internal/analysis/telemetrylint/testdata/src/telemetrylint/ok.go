@@ -1,0 +1,34 @@
+package fixture
+
+import "sieve/internal/telemetry"
+
+// Registry is a look-alike type from outside the telemetry package: its
+// methods are not instrument registration and must not be flagged.
+type Registry struct{}
+
+// Counter on the look-alike is an ordinary method.
+func (Registry) Counter(name string) int { return len(name) }
+
+// lookAlike calls the impostor inside a noalloc function: clean, the
+// receiver is not telemetry.Registry.
+//
+//sieve:noalloc record path
+func lookAlike(r Registry) int {
+	return r.Counter("fixture")
+}
+
+// excused shows the escape hatch: a justified one-time registration on a
+// cold sub-path of an otherwise hot function.
+//
+//sieve:noalloc record path
+func excused(reg *telemetry.Registry, cold bool) {
+	if cold {
+		reg.Counter("fixture_cold_total").Inc() //sieve:allowalloc one-time cold-path registration, justified here
+	}
+}
+
+// unannotated registers outside any noalloc contract: construction-time
+// code is exactly where registration belongs.
+func unannotated(reg *telemetry.Registry) *telemetry.Counter {
+	return reg.Counter("fixture_frames_total")
+}

@@ -47,6 +47,7 @@ import (
 	"sieve/internal/frame"
 	"sieve/internal/labels"
 	"sieve/internal/nn"
+	"sieve/internal/telemetry"
 )
 
 // ErrClientClosed is returned by Infer on a client that was closed or that
@@ -83,7 +84,14 @@ type Plane struct {
 	reserved int        // promised registrations not yet made (see Reserve)
 	pending  []*request // submitted, not yet taken by a leader
 	flushing bool       // a leader is inside the forward pass
-	stats    Stats
+
+	// Batching counters are telemetry instruments: free-standing at New,
+	// rebound into a shared registry by Instrument. Updated only inside
+	// flushLocked (p.mu held), so reads under p.mu are exact.
+	instrumented bool
+	batches      *telemetry.Counter
+	frames64     *telemetry.Counter
+	maxBatch     *telemetry.Gauge
 
 	// Leader-owned scratch, guarded by flushing (only one leader at a time).
 	takes  []*request
@@ -106,7 +114,41 @@ func New(det *nn.YOLite, batchSize int) *Plane {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	return &Plane{inf: nn.NewInference(det), batch: batchSize}
+	return &Plane{
+		inf: nn.NewInference(det), batch: batchSize,
+		batches: &telemetry.Counter{}, frames64: &telemetry.Counter{}, maxBatch: &telemetry.Gauge{},
+	}
+}
+
+// Instrument rebinds the plane's counters to series registered in reg
+// (sieve_infer_batches_total, sieve_infer_frames_total,
+// sieve_infer_max_batch, with the given labels). First registry wins: a
+// plane shared across hubs keeps its first binding. Hubs and clusters call
+// this at construction, before any traffic, so the accumulated counts to
+// carry over are zero in practice — but they are transferred anyway so a
+// late binding never loses history.
+func (p *Plane) Instrument(reg *telemetry.Registry, lbls ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Describe("sieve_infer_batches_total", "detector forward passes run by the shared inference plane")
+	reg.Describe("sieve_infer_frames_total", "frames inferred across all batches")
+	reg.Describe("sieve_infer_max_batch", "largest batch flushed so far")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.instrumented {
+		return
+	}
+	p.instrumented = true
+	b := reg.Counter("sieve_infer_batches_total", lbls...)
+	b.Add(p.batches.Value())
+	p.batches = b
+	f := reg.Counter("sieve_infer_frames_total", lbls...)
+	f.Add(p.frames64.Value())
+	p.frames64 = f
+	m := reg.Gauge("sieve_infer_max_batch", lbls...)
+	m.Max(p.maxBatch.Value())
+	p.maxBatch = m
 }
 
 // BatchSize returns the flush size.
@@ -115,11 +157,17 @@ func (p *Plane) BatchSize() int { return p.batch }
 // Detector returns the shared detector.
 func (p *Plane) Detector() *nn.YOLite { return p.inf.Detector() }
 
-// Stats returns a snapshot of the batching counters.
+// Stats returns a snapshot of the batching counters — a view over the
+// plane's telemetry instruments. Taken under the plane lock, so it never
+// observes a flush half-applied.
 func (p *Plane) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Batches:  p.batches.Value(),
+		Frames:   p.frames64.Value(),
+		MaxBatch: int(p.maxBatch.Value()),
+	}
 }
 
 // Register adds a submitter (consuming one outstanding reservation, if
@@ -264,11 +312,9 @@ func (p *Plane) flushLocked() {
 			r.done <- sets[i]
 			sets[i] = nil
 		}
-		p.stats.Batches++
-		p.stats.Frames += int64(n)
-		if n > p.stats.MaxBatch {
-			p.stats.MaxBatch = n
-		}
+		p.batches.Inc()
+		p.frames64.Add(int64(n))
+		p.maxBatch.Max(int64(n))
 		p.flushing = false
 	}
 }

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchResult is one benchmark measurement in a BENCH_<suite>.json
+// report. NsPerOp/AllocsPerOp/BytesPerOp follow testing.BenchmarkResult;
+// NsPerFrame, FramesPerSec and FilterRate are the SiEVE-level readings
+// (zero when a result has no frame semantics).
+type BenchResult struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	NsPerFrame   float64 `json:"ns_per_frame,omitempty"`
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	FilterRate   float64 `json:"filter_rate,omitempty"`
+}
+
+// BenchReport is the machine-readable perf record a sievebench suite
+// emits — the repo's perf trajectory, one file per suite. Unix is stamped
+// by the caller (the CLI layer owns wall time; this package is
+// deterministic).
+type BenchReport struct {
+	Suite     string        `json:"suite"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Unix      int64         `json:"unix,omitempty"`
+	Results   []BenchResult `json:"results"`
+}
+
+// Validate checks the report against the schema: a named suite, at least
+// one result, unique non-empty result names, a positive iteration count
+// and non-negative measurements, filter rates within [0,1].
+func (r *BenchReport) Validate() error {
+	if r.Suite == "" {
+		return fmt.Errorf("telemetry: bench report has no suite name")
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("telemetry: bench report %s has no results", r.Suite)
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for i, res := range r.Results {
+		if res.Name == "" {
+			return fmt.Errorf("telemetry: bench report %s: result %d has no name", r.Suite, i)
+		}
+		if seen[res.Name] {
+			return fmt.Errorf("telemetry: bench report %s: duplicate result %q", r.Suite, res.Name)
+		}
+		seen[res.Name] = true
+		if res.N <= 0 {
+			return fmt.Errorf("telemetry: bench report %s: %s: n must be positive, got %d", r.Suite, res.Name, res.N)
+		}
+		if res.NsPerOp < 0 || res.NsPerFrame < 0 || res.FramesPerSec < 0 ||
+			res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			return fmt.Errorf("telemetry: bench report %s: %s: negative measurement", r.Suite, res.Name)
+		}
+		if res.FilterRate < 0 || res.FilterRate > 1 {
+			return fmt.Errorf("telemetry: bench report %s: %s: filter rate %v outside [0,1]", r.Suite, res.Name, res.FilterRate)
+		}
+	}
+	return nil
+}
+
+// Save validates and writes the report as indented JSON.
+func (r *BenchReport) Save(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding bench report: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("telemetry: writing bench report: %w", err)
+	}
+	return nil
+}
+
+// LoadBenchReport reads and validates a BENCH_<suite>.json file — the
+// schema check the obs-smoke job and `sievebench -check` run.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading bench report: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing bench report %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *BenchReport {
+	return &BenchReport{
+		Suite: "smoke",
+		Results: []BenchResult{
+			{Name: "session_encode", N: 10, NsPerOp: 1000, NsPerFrame: 100, FramesPerSec: 1e7, FilterRate: 0.8},
+		},
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := []func(*BenchReport){
+		func(r *BenchReport) { r.Suite = "" },
+		func(r *BenchReport) { r.Results = nil },
+		func(r *BenchReport) { r.Results[0].Name = "" },
+		func(r *BenchReport) { r.Results = append(r.Results, r.Results[0]) },
+		func(r *BenchReport) { r.Results[0].N = 0 },
+		func(r *BenchReport) { r.Results[0].NsPerOp = -1 },
+		func(r *BenchReport) { r.Results[0].FilterRate = 1.5 },
+	}
+	for i, mutate := range bad {
+		r := validReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestBenchReportSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	r := validReport()
+	r.Unix = 1700000000
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"suite": "smoke"`, `"ns_per_frame": 100`, `"filter_rate": 0.8`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("saved JSON missing %s:\n%s", want, b)
+		}
+	}
+	loaded, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Suite != "smoke" || len(loaded.Results) != 1 || loaded.Results[0].FramesPerSec != 1e7 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if err := os.WriteFile(path, []byte(`{"suite":"","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchReport(path); err == nil {
+		t.Fatal("invalid file loaded without error")
+	}
+}

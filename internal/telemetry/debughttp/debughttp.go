@@ -1,0 +1,67 @@
+// Package debughttp serves the opt-in observability surface behind
+// `-debug-addr`: Prometheus text exposition at /metrics, the standard
+// net/http/pprof profiler under /debug/pprof/, and expvar at /debug/vars.
+// It lives outside internal/telemetry so the deterministic metrics core
+// stays free of net/http (and of the detclock-audited package list's
+// heaviest dependency tree).
+package debughttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"sieve/internal/telemetry"
+)
+
+// publishOnce guards the process-global expvar key: expvar.Publish panics
+// on duplicates, so only the first server wires the registry into
+// /debug/vars (one debug surface per process is the intended topology).
+var publishOnce sync.Once
+
+// Server is a running debug endpoint. Close it when done.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// the debug surface for reg. The server runs on its own goroutine until
+// Close.
+func Start(addr string, reg *telemetry.Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("debughttp: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debughttp: listen %s: %w", addr, err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("sieve", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

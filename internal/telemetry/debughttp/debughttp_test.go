@@ -1,0 +1,64 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sieve/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestDebugSurface(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sieve_frames_total", telemetry.L("feed", "cam")).Add(9)
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	samples, err := telemetry.ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if samples[`sieve_frames_total{feed="cam"}`] != 9 {
+		t.Fatalf("scrape = %v", samples)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"cmdline"`) {
+		t.Fatalf("/debug/vars status %d body %q", code, body)
+	}
+	if !strings.Contains(body, `"sieve"`) {
+		t.Fatalf("/debug/vars missing published registry: %s", body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

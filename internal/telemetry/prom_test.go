@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("sieve_frames_total", "frames encoded")
+	r.Counter("sieve_frames_total", L("feed", "cam-a")).Add(12)
+	r.Counter("sieve_frames_total", L("feed", "cam-b")).Add(7)
+	r.Gauge("sieve_depth").Set(3)
+	h := r.Histogram("sieve_frame_bytes", []int64{100, 1000}, L("feed", "cam-a"))
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantLines := []string{
+		"# TYPE sieve_depth gauge",
+		"sieve_depth 3",
+		"# TYPE sieve_frame_bytes histogram",
+		`sieve_frame_bytes_bucket{feed="cam-a",le="100"} 1`,
+		`sieve_frame_bytes_bucket{feed="cam-a",le="1000"} 2`,
+		`sieve_frame_bytes_bucket{feed="cam-a",le="+Inf"} 3`,
+		`sieve_frame_bytes_sum{feed="cam-a"} 5550`,
+		`sieve_frame_bytes_count{feed="cam-a"} 3`,
+		"# HELP sieve_frames_total frames encoded",
+		"# TYPE sieve_frames_total counter",
+		`sieve_frames_total{feed="cam-a"} 12`,
+		`sieve_frames_total{feed="cam-b"} 7`,
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(wantLines) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(wantLines), out)
+	}
+	for i, want := range wantLines {
+		if lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func(reverse bool) string {
+		r := NewRegistry()
+		feeds := []string{"a", "b", "c"}
+		if reverse {
+			feeds = []string{"c", "b", "a"}
+		}
+		for _, f := range feeds {
+			r.Counter("frames_total", L("feed", f)).Add(int64(len(f)))
+		}
+		r.Gauge("depth").Set(1)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if build(false) != build(true) {
+		t.Fatal("exposition depends on registration order")
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sieve_frames_total", L("feed", "cam")).Add(42)
+	r.Gauge("sieve_depth").Set(5)
+	r.Histogram("sieve_bytes", []int64{10}).Observe(7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[`sieve_frames_total{feed="cam"}`]; got != 42 {
+		t.Fatalf("parsed counter = %v, want 42", got)
+	}
+	if got := samples[`sieve_bytes_bucket{le="+Inf"}`]; got != 1 {
+		t.Fatalf("parsed +Inf bucket = %v, want 1", got)
+	}
+	if got := samples["sieve_depth"]; got != 5 {
+		t.Fatalf("parsed gauge = %v, want 5", got)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no value":       "# TYPE x counter\nx{feed=\"a\"}\n",
+		"bad value":      "# TYPE x counter\nx potato\n",
+		"no type":        "y 3\n",
+		"unknown type":   "# TYPE x widget\nx 3\n",
+		"unterminated":   "# TYPE x counter\nx{feed=\"a\" 3\n",
+		"empty exposure": "\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("path", `a\b"c`)).Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{path="a\\b\"c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+	if _, err := ParseExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("escaped exposition does not parse: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sieve/internal/retry"
+	"sieve/internal/telemetry"
 	"sieve/internal/wire"
 )
 
@@ -22,6 +23,7 @@ type pusherConfig struct {
 	haveParams bool
 	backoff    retry.Backoff
 	clock      Clock
+	reg        *telemetry.Registry
 }
 
 // WithPusherName overrides the feed name advertised in HELLO (default:
@@ -54,6 +56,13 @@ func WithPusherBackoff(base, max time.Duration, maxAttempts int) PusherOption {
 // deterministic reconnect tests.
 func WithPusherClock(clk Clock) PusherOption {
 	return func(c *pusherConfig) { c.clock = clk }
+}
+
+// WithPusherTelemetry records the pusher's client-side counters into reg
+// as sieve_push_* series labelled {feed}. Without it the counters are
+// free-standing; PusherStats is the snapshot view over them either way.
+func WithPusherTelemetry(reg *Registry) PusherOption {
+	return func(c *pusherConfig) { c.reg = reg }
 }
 
 // PusherStats are a Pusher's client-side counters, cumulative across
@@ -108,8 +117,20 @@ type Pusher struct {
 	src FrameSource
 	cfg pusherConfig
 
-	mu    sync.Mutex
-	stats PusherStats
+	// Counters are telemetry instruments (free-standing unless
+	// WithPusherTelemetry bound them to a registry); PusherStats is the
+	// snapshot view over them.
+	framesSent *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	acks       *telemetry.Counter
+	shed       *telemetry.Counter
+	evicted    *telemetry.Counter
+	reconnects *telemetry.Counter
+	attempts   *telemetry.Counter
+	lastAckedI *telemetry.Gauge // high-water mark, -1 until the first I-ack
+
+	mu          sync.Mutex
+	closeReason string
 	// pos is the source cursor: frames consumed from src, advanced when a
 	// frame is pulled — not when its send succeeds. A frame pulled but lost
 	// to a failed send leaves pos ahead of the server's cursor, so the next
@@ -127,16 +148,45 @@ func NewPusher(src FrameSource, opts ...PusherOption) *Pusher {
 	for _, opt := range opts {
 		opt(&p.cfg)
 	}
-	p.stats.LastAckedI = -1
+	if reg := p.cfg.reg; reg != nil {
+		l := telemetry.L("feed", p.feedName())
+		p.framesSent = reg.Counter("sieve_push_frames_sent_total", l)
+		p.bytesSent = reg.Counter("sieve_push_bytes_sent_total", l)
+		p.acks = reg.Counter("sieve_push_acks_total", l)
+		p.shed = reg.Counter("sieve_push_shed_total", l)
+		p.evicted = reg.Counter("sieve_push_evicted_total", l)
+		p.reconnects = reg.Counter("sieve_push_reconnects_total", l)
+		p.attempts = reg.Counter("sieve_push_attempts_total", l)
+		p.lastAckedI = reg.Gauge("sieve_push_last_acked_iframe", l)
+	} else {
+		p.framesSent, p.bytesSent, p.acks = &telemetry.Counter{}, &telemetry.Counter{}, &telemetry.Counter{}
+		p.shed, p.evicted = &telemetry.Counter{}, &telemetry.Counter{}
+		p.reconnects, p.attempts = &telemetry.Counter{}, &telemetry.Counter{}
+		p.lastAckedI = &telemetry.Gauge{}
+	}
+	p.lastAckedI.Set(-1)
 	return p
 }
 
 // Stats returns the client-side counters; safe to call concurrently
-// with Run.
+// with Run. PusherStats is a view over the pusher's telemetry
+// instruments: each counter is read atomically, the snapshot as a whole
+// is not a frozen cross-counter cut.
 func (p *Pusher) Stats() PusherStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	reason := p.closeReason
+	p.mu.Unlock()
+	return PusherStats{
+		FramesSent:  p.framesSent.Value(),
+		BytesSent:   p.bytesSent.Value(),
+		Acks:        p.acks.Value(),
+		LastAckedI:  p.lastAckedI.Value(),
+		Shed:        p.shed.Value(),
+		Evicted:     p.evicted.Value(),
+		Reconnects:  int(p.reconnects.Value()),
+		Attempts:    int(p.attempts.Value()),
+		CloseReason: reason,
+	}
 }
 
 // Finished reports whether the server has finalised the feed's stream.
@@ -181,7 +231,7 @@ func (p *Pusher) Run(ctx context.Context, nc net.Conn) error {
 		p.mu.Unlock()
 		return ErrPusherDone
 	}
-	resume, token := p.live, p.stats.LastAckedI
+	resume, token := p.live, p.lastAckedI.Value()
 	p.mu.Unlock()
 
 	c := wire.NewConn(nc)
@@ -203,7 +253,7 @@ func (p *Pusher) Run(ctx context.Context, nc net.Conn) error {
 	}
 	p.mu.Lock()
 	if p.live {
-		p.stats.Reconnects++
+		p.reconnects.Inc()
 	}
 	p.live = true
 	p.mu.Unlock()
@@ -247,10 +297,8 @@ func (p *Pusher) Run(ctx context.Context, nc net.Conn) error {
 		if err := c.SendFrame(idx, f); err != nil {
 			return p.sendFailed(fmt.Sprintf("frame %d", idx), err, readErr)
 		}
-		p.mu.Lock()
-		p.stats.FramesSent++
-		p.stats.BytesSent += frameBytes
-		p.mu.Unlock()
+		p.framesSent.Inc()
+		p.bytesSent.Add(frameBytes)
 	}
 }
 
@@ -290,10 +338,8 @@ func (p *Pusher) RunRetry(ctx context.Context, dial func(context.Context) (net.C
 				return errors.Join(err, last)
 			}
 		}
-		p.mu.Lock()
-		p.stats.Attempts++
-		before := p.progressLocked()
-		p.mu.Unlock()
+		p.attempts.Inc()
+		before := p.progress()
 		nc, err := dial(ctx)
 		if err == nil {
 			err = p.Run(ctx, nc)
@@ -308,10 +354,7 @@ func (p *Pusher) RunRetry(ctx context.Context, dial func(context.Context) (net.C
 		if ctx.Err() != nil {
 			return err
 		}
-		p.mu.Lock()
-		progressed := p.progressLocked() > before
-		p.mu.Unlock()
-		if progressed {
+		if p.progress() > before {
 			streak = 1
 		} else {
 			streak++
@@ -320,10 +363,11 @@ func (p *Pusher) RunRetry(ctx context.Context, dial func(context.Context) (net.C
 	}
 }
 
-// progressLocked is the monotonic progress measure RunRetry uses to decide
-// whether a failed connection still moved the stream forward.
-func (p *Pusher) progressLocked() int64 {
-	return p.stats.FramesSent + p.stats.Acks + int64(p.stats.Reconnects)
+// progress is the monotonic progress measure RunRetry uses to decide
+// whether a failed connection still moved the stream forward. Each counter
+// only grows, so the sum is monotonic even read without a lock.
+func (p *Pusher) progress() int64 {
+	return p.framesSent.Value() + p.acks.Value() + p.reconnects.Value()
 }
 
 // awaitWelcome reads the handshake reply: WELCOME or a terminal ERROR.
@@ -389,25 +433,21 @@ func (p *Pusher) readLoop(c *wire.Conn) error {
 			if err != nil {
 				return err
 			}
-			p.mu.Lock()
-			p.stats.Acks++
-			if FrameType(a.Type) == FrameI && a.Frame > p.stats.LastAckedI {
-				p.stats.LastAckedI = a.Frame
+			p.acks.Inc()
+			if FrameType(a.Type) == FrameI {
+				p.lastAckedI.Max(a.Frame)
 			}
-			p.mu.Unlock()
 		case wire.MsgDrain:
 			d, err := wire.ParseDrain(payload)
 			if err != nil {
 				return err
 			}
-			p.mu.Lock()
 			switch d.Code {
 			case wire.DrainShed:
-				p.stats.Shed += int64(d.Count)
+				p.shed.Add(int64(d.Count))
 			case wire.DrainEvicted:
-				p.stats.Evicted += int64(d.Count)
+				p.evicted.Add(int64(d.Count))
 			}
-			p.mu.Unlock()
 		case wire.MsgClose:
 			cl, err := wire.ParseClose(payload)
 			if err != nil {
@@ -415,7 +455,7 @@ func (p *Pusher) readLoop(c *wire.Conn) error {
 			}
 			p.mu.Lock()
 			p.done = true
-			p.stats.CloseReason = cl.Reason.String()
+			p.closeReason = cl.Reason.String()
 			p.mu.Unlock()
 			return nil
 		case wire.MsgError:

@@ -12,6 +12,7 @@ import (
 	"sieve/internal/codec"
 	"sieve/internal/container"
 	"sieve/internal/infer"
+	"sieve/internal/telemetry"
 )
 
 // EventKind discriminates the typed events a Session emits.
@@ -134,9 +135,12 @@ type sessionConfig struct {
 	sink       io.WriteSeeker
 	statsEvery int
 	eventBuf   int
-	frameBase  int         // event frame-number offset, see withFrameBase
-	tap        func(Event) // synchronous observer, see withEventTap
-	onDone     func(error) // completion callback, see withRunDone
+	frameBase  int                 // event frame-number offset, see withFrameBase
+	tap        func(Event)         // synchronous observer, see withEventTap
+	onDone     func(error)         // completion callback, see withRunDone
+	reg        *telemetry.Registry // shared metrics registry, see WithTelemetry
+	tracer     *telemetry.Tracer   // span recorder, see WithTracer
+	site       string              // owning site label, see withTraceSite
 }
 
 // withFrameBase offsets every emitted event's Frame by n. A migrated
@@ -246,8 +250,20 @@ type Session struct {
 	ifd    *codec.IFrameDecoder // reused I-frame decode buffer (detection path)
 	events chan Event
 
+	// Counters are registry instruments (a private registry when no
+	// WithTelemetry was given), updated lock-free from the encode loop.
+	// The session goroutine is their only writer, so its own EventStats
+	// snapshots are exact; concurrent Stats() readers see each counter
+	// atomically but not a cross-counter cut (the standard monitoring
+	// contract).
+	frames     *telemetry.Counter
+	iframes    *telemetry.Counter
+	payload    *telemetry.Counter
+	detections *telemetry.Counter
+	frameBytes *telemetry.Histogram
+	trace      *telemetry.Scope // nil unless a tracer was attached
+
 	mu       sync.Mutex
-	stats    SessionStats
 	ran      bool
 	finished bool // stream index finalised (Run completed successfully)
 	seq      int
@@ -283,7 +299,17 @@ func NewSession(src FrameSource, opts ...SessionOption) (*Session, error) {
 			cfg.name, params.Width, params.Height, info.Width, info.Height)
 	}
 	s := &Session{src: src, cfg: cfg, events: make(chan Event, cfg.eventBuf)}
-	s.stats.Feed = cfg.name
+	if s.cfg.reg == nil {
+		s.cfg.reg = telemetry.NewRegistry()
+	}
+	describeSessionMetrics(s.cfg.reg)
+	labels := feedSeriesLabels(cfg.site, cfg.name)
+	s.frames = s.cfg.reg.Counter("sieve_frames_total", labels...)
+	s.iframes = s.cfg.reg.Counter("sieve_iframes_total", labels...)
+	s.payload = s.cfg.reg.Counter("sieve_payload_bytes_total", labels...)
+	s.detections = s.cfg.reg.Counter("sieve_detections_total", labels...)
+	s.frameBytes = s.cfg.reg.Histogram("sieve_frame_bytes", frameBytesBounds, labels...)
+	s.trace = cfg.tracer.Scope(cfg.site, cfg.name)
 	sink := cfg.sink
 	if sink == nil {
 		s.buf = &container.Buffer{}
@@ -323,11 +349,24 @@ func (s *Session) Name() string { return s.cfg.name }
 func (s *Session) Events() <-chan Event { return s.events }
 
 // Stats returns a counters snapshot; safe to call concurrently with Run.
+// SessionStats is a view over the session's registry instruments: each
+// counter is read atomically, and because the session goroutine is the
+// only writer, snapshots it takes itself (the EventStats payloads) are
+// exact. A concurrent reader may observe counters from slightly different
+// instants — individually correct and monotonic, not a frozen cut.
 func (s *Session) Stats() SessionStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return SessionStats{
+		Feed:         s.cfg.name,
+		Frames:       int(s.frames.Value()),
+		IFrames:      int(s.iframes.Value()),
+		PayloadBytes: s.payload.Value(),
+		Detections:   int(s.detections.Value()),
+	}
 }
+
+// Telemetry returns the session's metrics registry (the one given via
+// WithTelemetry, or the session's private default).
+func (s *Session) Telemetry() *Registry { return s.cfg.reg }
 
 // Stream opens a reader over the encoded stream. Only available after Run
 // has completed successfully (the index is finalised then — while Run is in
@@ -378,10 +417,18 @@ func (s *Session) Run(ctx context.Context) (err error) {
 
 	// One EncodedFrame reused across the whole feed: with the zero-alloc
 	// encoder hot path the per-frame loop stops allocating once ef.Data and
-	// the encoder's internal buffers reach steady-state capacity.
+	// the encoder's internal buffers reach steady-state capacity. Telemetry
+	// keeps that property: counter updates are atomic adds on
+	// pre-registered instruments, and span handles are stack values whose
+	// storage is amortised inside the tracer.
 	var ef EncodedFrame
 	gaps, _ := s.src.(gapSource)
 	for {
+		// The encoder numbers frames sequentially, so the frame about to be
+		// pulled is the current frame count; a pull that ends in EOF or an
+		// error records no span.
+		next := s.cfg.frameBase + int(s.frames.Value())
+		pullSp := s.trace.Start(telemetry.StagePull, next)
 		f, err := s.src.Next(ctx)
 		if errors.Is(err, io.EOF) {
 			break
@@ -389,31 +436,38 @@ func (s *Session) Run(ctx context.Context) (err error) {
 		if err != nil {
 			return fmt.Errorf("sieve: session %s: source: %w", s.cfg.name, err)
 		}
+		pullSp.End()
 		if gaps != nil && gaps.TakeGap() {
 			s.enc.ForceNextI()
 		}
+		encSp := s.trace.Start(telemetry.StageEncode, next)
 		if err := s.enc.EncodeInto(f, &ef); err != nil {
 			return fmt.Errorf("sieve: session %s: %w", s.cfg.name, err)
 		}
-		s.mu.Lock()
-		s.stats.Frames++
-		s.stats.PayloadBytes += int64(len(ef.Data))
+		encSp.End()
+		frames := int(s.frames.Inc())
+		s.payload.Add(int64(len(ef.Data)))
+		s.frameBytes.Observe(int64(len(ef.Data)))
 		if ef.Type == FrameI {
-			s.stats.IFrames++
+			s.iframes.Inc()
 		}
-		frames := s.stats.Frames
-		s.mu.Unlock()
 
 		ev := Event{Kind: EventFrameEncoded, Frame: s.cfg.frameBase + ef.Number, FrameType: ef.Type, Bytes: len(ef.Data)}
 		if !s.emit(ctx, ev) {
 			return ctx.Err()
 		}
 		if ef.Type == FrameI {
+			// The filter span marks the frame surviving the I-frame sieve
+			// (the paper's candidate-event signal) and covers handing it to
+			// the consumer, so backpressure shows up in the trace.
+			filterSp := s.trace.Start(telemetry.StageFilter, s.cfg.frameBase+ef.Number)
 			ev.Kind = EventIFrame
 			if !s.emit(ctx, ev) {
 				return ctx.Err()
 			}
+			filterSp.End()
 			if inferC != nil {
+				inferSp := s.trace.Start(telemetry.StageInfer, s.cfg.frameBase+ef.Number)
 				// Decode into the session's reused I-frame buffer; the plane
 				// only reads it until Infer returns, so the buffer is free to
 				// reuse on the next detection.
@@ -426,9 +480,8 @@ func (s *Session) Run(ctx context.Context) (err error) {
 				if err != nil {
 					return err
 				}
-				s.mu.Lock()
-				s.stats.Detections++
-				s.mu.Unlock()
+				inferSp.End()
+				s.detections.Inc()
 				if !s.emit(ctx, Event{Kind: EventDetection, Frame: s.cfg.frameBase + ef.Number, Labels: set}) {
 					return ctx.Err()
 				}

@@ -1,0 +1,348 @@
+package sieve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"sieve/internal/telemetry"
+	"sieve/internal/telemetry/debughttp"
+)
+
+// testTracer returns a tracer on its own VirtualClock. The clock is never
+// advanced, so every span lands at the epoch — which is exactly what the
+// determinism tests want: the export order is the canonical span sort, not
+// goroutine interleaving.
+func testTracer() *Tracer { return NewTracer(testClock()) }
+
+// runTracedClusterJSON is runClusterJSON plus a fresh registry and tracer,
+// returning the merged-DB JSON and the exported Chrome trace JSON.
+func runTracedClusterJSON(t *testing.T, opts ...ClusterOption) ([]byte, []byte, *Cluster, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	tr := testTracer()
+	opts = append([]ClusterOption{WithClusterTelemetry(reg), WithClusterTrace(tr)}, opts...)
+	db, c := runClusterJSON(t, opts...)
+	var trace bytes.Buffer
+	if err := tr.WriteChrome(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return db, trace.Bytes(), c, reg
+}
+
+// TestClusterTelemetryEquivalence pins the observability plane's prime
+// invariant: attaching a shared registry and tracer changes where counters
+// live, never what is computed — the merged ResultsDB JSON is byte-identical
+// telemetry-on vs telemetry-off — and the registry view agrees with the
+// legacy ClusterStats snapshot.
+func TestClusterTelemetryEquivalence(t *testing.T) {
+	on, trace, c, reg := runTracedClusterJSON(t)
+	off, _ := runClusterJSON(t)
+	if !bytes.Equal(on, off) {
+		t.Fatalf("merged ResultsDB differs telemetry-on vs off:\non:\n%s\noff:\n%s", on, off)
+	}
+
+	st := c.Snapshot()
+	snap := reg.Snapshot()
+	sum := func(family string) (n int64) {
+		for _, cp := range snap.Counters {
+			if strings.HasPrefix(cp.Key, family+"{") {
+				n += cp.Value
+			}
+		}
+		return n
+	}
+	if got := sum("sieve_frames_total"); int(got) != st.Frames {
+		t.Fatalf("sieve_frames_total = %d, ClusterStats.Frames = %d", got, st.Frames)
+	}
+	if got := sum("sieve_iframes_total"); int(got) != st.IFrames {
+		t.Fatalf("sieve_iframes_total = %d, ClusterStats.IFrames = %d", got, st.IFrames)
+	}
+	if got := sum("sieve_detections_total"); int(got) != st.Detections {
+		t.Fatalf("sieve_detections_total = %d, ClusterStats.Detections = %d", got, st.Detections)
+	}
+	if got := sum("sieve_payload_bytes_total"); got != st.PayloadBytes {
+		t.Fatalf("sieve_payload_bytes_total = %d, ClusterStats.PayloadBytes = %d", got, st.PayloadBytes)
+	}
+	if got := snap.Counter("sieve_cluster_delta_syncs_total"); got != st.DeltaSyncs {
+		t.Fatalf("sieve_cluster_delta_syncs_total = %d, ClusterStats.DeltaSyncs = %d", got, st.DeltaSyncs)
+	}
+	// The histogram accounted every encoded frame.
+	var hCount int64
+	for _, hp := range snap.Histograms {
+		if strings.HasPrefix(hp.Key, "sieve_frame_bytes{") {
+			hCount += hp.Count
+		}
+	}
+	if int(hCount) != st.Frames {
+		t.Fatalf("sieve_frame_bytes observations = %d, want %d frames", hCount, st.Frames)
+	}
+	// The sampled gauges collected per-site storage.
+	var stored int64
+	for _, gp := range snap.Gauges {
+		if strings.HasPrefix(gp.Key, "sieve_cluster_edge_store_bytes{") {
+			stored += gp.Value
+		}
+	}
+	var want int64
+	for _, ss := range st.Sites {
+		want += ss.StoredBytes
+	}
+	if stored != want {
+		t.Fatalf("edge store gauges sum to %d, SiteStats say %d", stored, want)
+	}
+
+	summary, err := SummarizeChromeTrace(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+	if summary.Events == 0 {
+		t.Fatal("trace has no span events")
+	}
+	stages := make(map[string]int)
+	for _, sc := range summary.Stages {
+		stages[sc.Stage] = sc.Count
+	}
+	if stages["pull"] == 0 || stages["encode"] == 0 || stages["infer"] == 0 || stages["ship"] == 0 {
+		t.Fatalf("missing pipeline stages in trace: %v", stages)
+	}
+	if stages["merge"] != 1 {
+		t.Fatalf("merge spans = %d, want exactly 1", stages["merge"])
+	}
+	if stages["encode"] != st.Frames {
+		t.Fatalf("encode spans = %d, want one per frame (%d)", stages["encode"], st.Frames)
+	}
+	if stages["filter"] != st.IFrames {
+		t.Fatalf("filter spans = %d, want one per I-frame (%d)", stages["filter"], st.IFrames)
+	}
+}
+
+// TestClusterTraceDeterminism is the tracing acceptance bar: two identical
+// VirtualClock cluster runs export byte-identical Chrome trace JSON.
+func TestClusterTraceDeterminism(t *testing.T) {
+	_, a, _, _ := runTracedClusterJSON(t)
+	_, b, _, _ := runTracedClusterJSON(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace JSON differs between identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestClusterFailoverTraceDeterminism extends the bar to scripted faults:
+// a crash drops the dead site's span buffer (how far the dying site limped
+// past its trigger is scheduling noise), so even a failover run's trace is
+// byte-identical across repeats and mentions no crashed site.
+func TestClusterFailoverTraceDeterminism(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:site1:cam-south@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, _, _ := runTracedClusterJSON(t, WithFaultPlan(plan))
+	_, b, _, _ := runTracedClusterJSON(t, WithFaultPlan(plan))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("failover trace JSON differs between identical runs:\n%s\nvs\n%s", a, b)
+	}
+	summary, err := SummarizeChromeTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range summary.Sites {
+		if site == "site1" {
+			t.Fatalf("crashed site1 still present in trace sites %v", summary.Sites)
+		}
+	}
+	if summary.Events == 0 {
+		t.Fatal("failover trace has no span events")
+	}
+}
+
+// TestClusterSnapshotConcurrentMidRun hammers ClusterStats, HubStats and
+// registry snapshots from several goroutines while the run is in flight.
+// Under -race this is the regression net for torn stats reads; the
+// monotonicity check catches counters that go backwards mid-run.
+func TestClusterSnapshotConcurrentMidRun(t *testing.T) {
+	c, err := NewCluster(3, WithSharder(ShardRoundRobin()), WithSiteWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cam := range clusterCameras {
+		if _, _, err := c.AddFeed(cam.name, NewSynthSource(clusterScene(t, cam.seed, cam.enter)), feedOpts(t)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var snapshots sync.WaitGroup
+	errc := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		snapshots.Add(1)
+		go func() {
+			defer snapshots.Done()
+			prev := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := c.Snapshot()
+				if st.Frames < prev {
+					select {
+					case errc <- fmt.Errorf("ClusterStats.Frames went backwards: %d after %d", st.Frames, prev):
+					default:
+					}
+					return
+				}
+				prev = st.Frames
+				_ = c.Telemetry().Snapshot()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range c.Events() {
+		}
+	}()
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	close(stop)
+	snapshots.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	st := c.Snapshot()
+	if st.Frames == 0 || st.Detections == 0 {
+		t.Fatalf("final snapshot empty: %d frames, %d detections", st.Frames, st.Detections)
+	}
+}
+
+// TestDebugEndpointScrapesMidRun runs a cluster with the debug surface
+// attached and scrapes /metrics while the run is in flight: the exposition
+// must parse, and a post-run scrape must agree with the final snapshot.
+func TestDebugEndpointScrapesMidRun(t *testing.T) {
+	reg := NewRegistry()
+	c, err := NewCluster(3, WithSharder(ShardRoundRobin()), WithSiteWorkers(2), WithClusterTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cam := range clusterCameras {
+		if _, _, err := c.AddFeed(cam.name, NewSynthSource(clusterScene(t, cam.seed, cam.enter)), feedOpts(t)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := debughttp.Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scrape := func() (map[string]float64, error) {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("GET /metrics: %s: %s", resp.Status, body)
+		}
+		return telemetry.ParseExposition(resp.Body)
+	}
+
+	var midErr error
+	midScrapes := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range c.Events() {
+			if ev.Kind != EventDetection || midErr != nil {
+				continue
+			}
+			if _, err := scrape(); err != nil {
+				midErr = err
+				continue
+			}
+			midScrapes++
+		}
+	}()
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if midErr != nil {
+		t.Fatalf("mid-run scrape: %v", midErr)
+	}
+	if midScrapes == 0 {
+		t.Fatal("no successful mid-run scrapes")
+	}
+
+	final, err := scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Snapshot()
+	var frames float64
+	for key, v := range final {
+		if strings.HasPrefix(key, "sieve_frames_total{") {
+			frames += v
+		}
+	}
+	if int(frames) != st.Frames {
+		t.Fatalf("scraped sieve_frames_total = %v, ClusterStats.Frames = %d", frames, st.Frames)
+	}
+}
+
+// TestSessionTelemetryStandalone covers the non-cluster path: a lone
+// session with WithTelemetry and WithTracer records the same counts its
+// SessionStats report, and EventStats snapshots stay exact (the session
+// goroutine is the only writer of its counters).
+func TestSessionTelemetryStandalone(t *testing.T) {
+	reg := NewRegistry()
+	tr := testTracer()
+	src := NewSynthSource(clusterScene(t, 21, 3))
+	sess, err := NewSession(src, WithName("solo"), WithClock(testClock()),
+		WithTelemetry(reg), WithTracer(tr), WithDetector(trainedTestDetector(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sess.Events() {
+		}
+	}()
+	if err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	st := sess.Stats()
+	snap := reg.Snapshot()
+	if got := snap.Counter(`sieve_frames_total{feed="solo"}`); int(got) != st.Frames {
+		t.Fatalf("registry frames = %d, SessionStats.Frames = %d", got, st.Frames)
+	}
+	if got := snap.Counter(`sieve_iframes_total{feed="solo"}`); int(got) != st.IFrames {
+		t.Fatalf("registry iframes = %d, SessionStats.IFrames = %d", got, st.IFrames)
+	}
+	if sess.Telemetry() != reg {
+		t.Fatal("Session.Telemetry did not return the shared registry")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := SummarizeChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Feeds) != 1 || summary.Feeds[0] != "solo" {
+		t.Fatalf("trace feeds = %v, want [solo]", summary.Feeds)
+	}
+}
