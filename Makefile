@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS = ./internal/codec/ ./internal/vision/ ./internal/tuner/ \
              ./internal/nn/ ./internal/infer/ ./internal/dataflow/ ./internal/runner/
 
-.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-json bench-full docs-lint wire-smoke chaos-smoke obs-smoke fmt vet lint sievelint fuzz-smoke vuln ci
+.PHONY: all build test test-short bench bench-codec bench-codec-smoke bench-cluster bench-cluster-smoke bench-infer bench-infer-smoke bench-ingest bench-ingest-smoke bench-split bench-split-smoke bench-json bench-full docs-lint wire-smoke chaos-smoke obs-smoke split-smoke fmt vet lint sievelint fuzz-smoke vuln ci
 
 all: build
 
@@ -119,6 +119,22 @@ bench-infer-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkInferBatch' -benchtime=1x -benchmem ./internal/nn/
 	$(GO) test -run='^$$' -bench='^BenchmarkPlaneRoundTrip' -benchtime=1x -benchmem ./internal/infer/
 
+# Split-inference benchmark: the measured all-edge forward at batch 1/4/16
+# next to the edge/cloud split projected at 10/30/100 Mbps from the measured
+# edge rate (cloud = the paper's 3x tier, pipelined throughput at the
+# latency-minimising cut — the same chooser `sieve cluster -split auto`
+# runs). Writes the schema-checked BENCH_infer.json. The smoke variant is
+# the same suite — its all-edge rows are already CI-sized — plus the
+# zero-alloc pin on the split detect path.
+bench-split:
+	$(GO) run ./cmd/sievebench -suite infer -json BENCH_infer.json
+	$(GO) run ./cmd/sievebench -check BENCH_infer.json
+
+bench-split-smoke:
+	$(GO) test -run '^TestDetectBatchSplitSteadyStateZeroAlloc$$' -count=1 ./internal/nn/
+	$(GO) run ./cmd/sievebench -suite infer -json BENCH_infer.json
+	$(GO) run ./cmd/sievebench -check BENCH_infer.json
+
 # Wire ingest micro-benchmark: the SVWP path (framing + raw-pixel copy
 # over an in-memory transport + server-side decode) vs adding the same
 # source in-process — the delta is pure ingest-plane overhead. CI runs
@@ -170,11 +186,26 @@ obs-smoke:
 	$(GO) run ./cmd/sievebench -suite smoke -json BENCH_smoke.json
 	$(GO) run ./cmd/sievebench -check BENCH_smoke.json
 
+# Split-inference smoke: the k-sweep equivalence suite under the race
+# detector — merged results byte-identical to the all-edge flat run at
+# every cut, with per-site auto tuning, and under a scripted
+# linkdown/degrade fault plan — plus the activation codec, partition-model
+# and plane-level split tests, then the CI-sized BENCH_infer.json round
+# trip (uploaded as an artifact by the split-smoke CI job).
+split-smoke:
+	$(GO) test -race -run '^(TestClusterSplit|TestClusterBatchedInferenceEquivalence)' -short -count=1 .
+	$(GO) test -race -run '^(TestActivationRecord|TestSplitForward|TestDetectBatchSplit|TestEvalCut|TestPartition)' -short -count=1 ./internal/nn/
+	$(GO) test -race -run '^TestSplitPlane' -count=1 ./internal/infer/
+	$(GO) run ./cmd/sievebench -suite infer -json BENCH_infer.json
+	$(GO) run ./cmd/sievebench -check BENCH_infer.json
+
 # Docs lint: PROTOCOL.md is normative — these tests parse its
 # message-type, error-code, drain and close tables and fail when they
-# disagree with the internal/wire constants (in either direction).
+# disagree with the internal/wire constants (in either direction), and the
+# same discipline covers PROTOCOL.md's SVAR activation-record layout
+# against the internal/nn codec constants.
 docs-lint:
-	$(GO) test -run '^TestSpec' -count=1 ./internal/wire/
+	$(GO) test -run '^TestSpec' -count=1 ./internal/wire/ ./internal/nn/
 
 # The full benchmark suite doubles as the experiment record (see
 # bench_test.go); this regenerates every paper figure and table.
@@ -182,4 +213,4 @@ bench-full:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 60m .
 
 # Everything CI checks, in CI's order.
-ci: build vet fmt lint test-short bench wire-smoke chaos-smoke obs-smoke docs-lint fuzz-smoke
+ci: build vet fmt lint test-short bench wire-smoke chaos-smoke obs-smoke split-smoke docs-lint fuzz-smoke

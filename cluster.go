@@ -10,7 +10,9 @@ import (
 	"sieve/internal/cluster"
 	"sieve/internal/container"
 	"sieve/internal/faultplan"
+	"sieve/internal/infer"
 	"sieve/internal/labels"
+	"sieve/internal/nn"
 	"sieve/internal/retry"
 	"sieve/internal/simnet"
 	"sieve/internal/store"
@@ -85,6 +87,10 @@ type clusterConfig struct {
 	quota        int64
 	inferDet     *Detector
 	inferBatch   int
+	split        bool
+	splitCut     int
+	splitEdge    float64
+	splitCloud   float64
 	ingest       *IngestListener
 	faults       *FaultPlan
 	syncEvery    int
@@ -149,6 +155,45 @@ func WithEdgeQuota(bytes int64) ClusterOption {
 // amortisation counters.
 func WithClusterInference(det *Detector, batchSize int) ClusterOption {
 	return func(c *clusterConfig) { c.inferDet, c.inferBatch = det, batchSize }
+}
+
+// SplitAuto asks WithSplitInference to pick each site's cut point from the
+// detector's layer profile and the site's observed uplink bandwidth
+// (Neurosurgeon-style, see nn.Partition), re-evaluating whenever the
+// bottleneck moves — a degraded uplink pushes layers back to the edge, a
+// healed one pulls them to the cloud.
+const SplitAuto = -1
+
+// splitReturnWireBytes is the modelled cloud→edge record closing a split
+// batch's round trip — the class grid's detections coming back per frame.
+// It is charged to every cut that runs at least one layer in the cloud, so
+// the auto chooser never picks a cloud-heavy cut on savings smaller than
+// the return trip.
+const splitReturnWireBytes = 64
+
+// WithSplitInference is WithClusterInference with the forward pass itself
+// partitioned across the uplink: each site's plane runs layers [0,cut) on
+// the edge, ships the intermediate activation over the site's metered
+// uplink (so linkdown/degrade faults apply to activations exactly like
+// detections and deltas), and finishes layers [cut,N) in the cloud. cut is
+// a fixed layer index for every site, or SplitAuto to tune each site's cut
+// from its own observed bandwidth. cut >= the network depth degrades to the
+// all-edge WithClusterInference path; a partitioned uplink makes affected
+// batches fall back to edge recompute. Results are byte-identical to the
+// all-edge path at every cut under every fault — the split moves compute
+// and bytes, never detections. See ClusterStats.Split.
+func WithSplitInference(det *Detector, batchSize, cut int) ClusterOption {
+	return func(c *clusterConfig) {
+		c.inferDet, c.inferBatch = det, batchSize
+		c.split, c.splitCut = true, cut
+	}
+}
+
+// WithSplitTiers overrides the modelled sustained compute rates (FLOP/s)
+// behind SplitAuto's cut choice and the split telemetry. Defaults: the
+// paper's 1 GFLOP/s edge desktop and 3 GFLOP/s cloud Xeon.
+func WithSplitTiers(edgeFLOPS, cloudFLOPS float64) ClusterOption {
+	return func(c *clusterConfig) { c.splitEdge, c.splitCloud = edgeFLOPS, cloudFLOPS }
 }
 
 // WithClusterListener attaches a network ingest plane to the cluster: Run
@@ -268,6 +313,11 @@ type Cluster struct {
 	// stalling the run.
 	syncClock Clock
 
+	// splitPlanes holds each site's split-inference plane when the cluster
+	// was built with WithSplitInference (the Hub only sees an
+	// InferencePlane; the split view lives here for Snapshot).
+	splitPlanes map[string]*InferencePlane
+
 	mu        sync.Mutex
 	sites     []*clusterSite
 	started   bool
@@ -358,6 +408,15 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 		events:    make(chan Event, cfg.bufSize),
 		skew:      make(map[string]float64),
 	}
+	c.splitPlanes = make(map[string]*InferencePlane)
+	if cfg.split {
+		if cfg.splitEdge <= 0 {
+			c.cfg.splitEdge = 1e9
+		}
+		if cfg.splitCloud <= 0 {
+			c.cfg.splitCloud = 3e9
+		}
+	}
 	c.fstats = newFailoverCounters(cfg.reg)
 	if c.ingest != nil {
 		c.ingest.instrument(cfg.reg)
@@ -374,7 +433,13 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 			WithHubTelemetry(cfg.reg), withHubSite(name), WithHubTrace(cfg.tracer),
 		}
 		if cfg.inferDet != nil {
-			hubOpts = append(hubOpts, WithHubInference(cfg.inferDet, cfg.inferBatch))
+			if cfg.split {
+				ip := c.newSplitPlane(name)
+				c.splitPlanes[name] = ip
+				hubOpts = append(hubOpts, WithHubPlane(ip))
+			} else {
+				hubOpts = append(hubOpts, WithHubInference(cfg.inferDet, cfg.inferBatch))
+			}
 		}
 		s := &clusterSite{
 			name:  name,
@@ -398,6 +463,58 @@ func NewCluster(numSites int, opts ...ClusterOption) (*Cluster, error) {
 	degraded := cfg.reg.Gauge("sieve_cluster_degraded_sites")
 	cfg.reg.OnCollect(func() { degraded.Set(int64(len(c.coord.Degraded()))) })
 	return c, nil
+}
+
+// newSplitPlane builds one site's split-inference plane: the cut chooser
+// bound to the site's uplink, the ship hook metering activations through
+// the coordinator, and the modelled tier rates for the split telemetry.
+func (c *Cluster) newSplitPlane(site string) *InferencePlane {
+	det := c.cfg.inferDet
+	net := det.Network()
+	stats := net.Stats()
+	numLayers := len(stats)
+	link, _ := c.topo.Uplink(site)
+
+	var chooser func() int
+	if c.cfg.splitCut != SplitAuto {
+		fixed := c.cfg.splitCut // the plane clamps to [0, numLayers]
+		chooser = func() int { return fixed }
+	} else {
+		env := nn.Env{
+			EdgeFLOPS:   c.cfg.splitEdge,
+			CloudFLOPS:  c.cfg.splitCloud,
+			InputBytes:  net.Input.Bytes(),
+			ReturnBytes: splitReturnWireBytes,
+		}
+		// The chooser re-evaluates the partition only when the observed
+		// bandwidth moves — the layer profile is static, so the cut is a pure
+		// function of the link state. Plain fields, no lock: Cut() is called
+		// by flush leaders only, and leader handoff is mutex-ordered (see
+		// infer.Split).
+		lastBps := -1.0
+		lastCut := numLayers
+		chooser = func() int {
+			if link == nil || link.Down() {
+				// A partitioned uplink can't carry activations; stay on the
+				// edge instead of paying a fallback recompute per batch.
+				return numLayers
+			}
+			bps := link.Bandwidth() / link.Degraded()
+			if bps != lastBps {
+				lastBps = bps
+				env.BandwidthBps = bps
+				lastCut = nn.PartitionStats(stats, env).SplitAfter + 1
+			}
+			return lastCut
+		}
+	}
+	p := infer.NewSplit(det, c.cfg.inferBatch, infer.Split{
+		Cut:        chooser,
+		Ship:       func(rec []byte) error { return c.coord.ShipActivation(site, int64(len(rec))) },
+		EdgeFLOPS:  c.cfg.splitEdge,
+		CloudFLOPS: c.cfg.splitCloud,
+	})
+	return &InferencePlane{p: p}
 }
 
 // Telemetry returns the cluster's metrics registry — the shared one passed
@@ -1136,6 +1253,9 @@ type SiteStats struct {
 	UplinkBusy      time.Duration
 	// StoredBytes is the site's edge-store usage.
 	StoredBytes int64
+	// Split holds the site plane's partitioned-inference counters (zero
+	// unless the cluster was built with WithSplitInference).
+	Split SplitStats
 	// Err is the site's terminal error message ("" while running or on
 	// success).
 	Err string
@@ -1157,6 +1277,11 @@ type ClusterStats struct {
 	// batches and frames summed over sites, MaxBatch the fleet-wide
 	// largest batch.
 	Inference InferenceStats
+	// Split aggregates the per-site planes' partitioned-inference counters
+	// (zero unless the cluster was built with WithSplitInference): batches
+	// split / fallen back and activation bytes summed over sites, modelled
+	// tier times summed, Cut the largest per-site cut currently in force.
+	Split SplitStats
 	// Ingest holds the network ingest plane's counters (zero unless the
 	// cluster was built with WithClusterListener).
 	Ingest IngestStats
@@ -1216,6 +1341,18 @@ func (c *Cluster) Snapshot() ClusterStats {
 		ss := SiteStats{Site: s.name, Hub: s.hub.Snapshot(), StoredBytes: s.edge.Used()}
 		if bytes, transfers, busy, err := c.coord.UplinkStats(s.name); err == nil {
 			ss.UplinkBytes, ss.UplinkTransfers, ss.UplinkBusy = bytes, transfers, busy
+		}
+		if ip, ok := c.splitPlanes[s.name]; ok {
+			ss.Split = ip.SplitStats()
+			st.Split.SplitBatches += ss.Split.SplitBatches
+			st.Split.Fallbacks += ss.Split.Fallbacks
+			st.Split.ActivationBytes += ss.Split.ActivationBytes
+			st.Split.EdgeTime += ss.Split.EdgeTime
+			st.Split.CloudTime += ss.Split.CloudTime
+			st.Split.NumLayers = ss.Split.NumLayers
+			if ss.Split.Cut > st.Split.Cut {
+				st.Split.Cut = ss.Split.Cut
+			}
 		}
 		c.mu.Lock()
 		if s.err != nil {

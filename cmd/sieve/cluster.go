@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,16 @@ feeds micro-batch decoded I-frames through a single detector forward pass
 the report adds the amortisation line. Results are byte-identical to the
 per-feed detector path.
 
+With -split, each site's batched forward is partitioned across its uplink:
+the edge runs the first K layers, the intermediate activation ships over
+the site's metered uplink, and the cloud finishes the network. -split auto
+tunes K per site from the detector's layer profile and the site's observed
+bandwidth (re-evaluated when faults move the bottleneck); -split K fixes
+the cut for every site. K at or past the network depth degrades to the
+all-edge path, and a partitioned uplink falls back to edge recompute per
+batch — the merged results are byte-identical in every case. -split
+implies the shared per-site plane (-batch defaults to 4 if unset).
+
 With -faults, a deterministic fault script runs against the cluster:
 site crashes, uplink partitions and load skew fire at exact encoded-frame
 counts. Crashed sites' feeds fail over to survivors and resume from the
@@ -57,6 +68,8 @@ examples:
   sieve cluster -feeds 6 -sites 3 -batch 4 -workers 2   # shared per-site batched
                   # inference (feeds batch only while running concurrently, so give
                   # each site >1 worker to see amortisation on a small box)
+  sieve cluster -feeds 6 -sites 3 -split auto     # per-site tuned edge/cloud cut
+  sieve cluster -feeds 6 -sites 3 -split 4 -uplink-mbps 10   # fixed cut, thin pipe
   sieve cluster -feeds 6 -sites 2 -detect=false   # skip detector training
   sieve cluster -feeds 6 -sites 3 -faults 'crash:site1:cam1-highway@40'
                   # kill site1 mid-run; its feeds replay onto survivors
@@ -87,6 +100,7 @@ func cmdCluster(args []string) {
 	latency := fs.Duration("latency", 20*time.Millisecond, "per-site uplink latency")
 	detect := fs.Bool("detect", true, "train a small detector and run it on I-frames")
 	batch := fs.Int("batch", 0, "micro-batch I-frames through one shared forward pass per site, flushing at this size (0 = per-feed detectors)")
+	split := fs.String("split", "", "partition each site's forward across its uplink: auto (per-site tuned cut) or a fixed layer index (\"\" = all edge)")
 	faults := fs.String("faults", "", "deterministic fault script: kind:site:feed@frame[:factor], semicolon-separated")
 	syncEvery := fs.Int("sync-every", 8, "ship incremental shard deltas to the cloud every N detections")
 	out := fs.String("out", "", "write the merged results database JSON here (optional)")
@@ -122,6 +136,25 @@ func cmdCluster(args []string) {
 	if *batch > 0 && det == nil {
 		log.Fatal("-batch needs -detect (there is no inference to batch)")
 	}
+	splitCut, splitOn := 0, false
+	if *split != "" {
+		if det == nil {
+			log.Fatal("-split needs -detect (there is no forward pass to partition)")
+		}
+		splitOn = true
+		if *split == "auto" {
+			splitCut = sieve.SplitAuto
+		} else {
+			k, err := strconv.Atoi(*split)
+			if err != nil || k < 0 {
+				log.Fatalf("-split wants auto or a non-negative layer index, got %q", *split)
+			}
+			splitCut = k
+		}
+		if *batch < 1 {
+			*batch = 4 // the split plane is a shared plane; give it a batch to amortise
+		}
+	}
 
 	// The registry is always attached: recording is allocation-free, the
 	// stats snapshot reads through it anyway, and it is what -debug-addr
@@ -156,7 +189,11 @@ func cmdCluster(args []string) {
 		}
 		copts = append(copts, sieve.WithFaultPlan(plan))
 	}
-	if *batch > 0 {
+	if splitOn {
+		// Shared per-site planes with the forward itself partitioned across
+		// the uplink at splitCut (SplitAuto tunes each site separately).
+		copts = append(copts, sieve.WithSplitInference(det, *batch, splitCut))
+	} else if *batch > 0 {
 		// One shared plane per site: feeds micro-batch their I-frames
 		// through a single forward pass instead of per-feed detector calls.
 		copts = append(copts, sieve.WithClusterInference(det, *batch))
@@ -264,6 +301,18 @@ func cmdCluster(args []string) {
 		inf := st.Inference
 		fmt.Printf("shared inference (batch %d, per site): %d I-frames in %d forward passes — %.2f frames/pass amortised, largest batch %d\n",
 			*batch, inf.Frames, inf.Batches, inf.MeanBatch(), inf.MaxBatch)
+	}
+	if splitOn {
+		sp := st.Split
+		fmt.Printf("split inference: %d batch(es) split across the uplink, %d B activations shipped, %d edge fallback(s); modelled edge %v + cloud %v\n",
+			sp.SplitBatches, sp.ActivationBytes, sp.Fallbacks,
+			sp.EdgeTime.Round(time.Microsecond), sp.CloudTime.Round(time.Microsecond))
+		var cuts []string
+		for _, ss := range st.Sites {
+			cuts = append(cuts, fmt.Sprintf("%s=%d/%d (%d B)",
+				ss.Site, ss.Split.Cut, ss.Split.NumLayers, ss.Split.ActivationBytes))
+		}
+		fmt.Printf("  per-site cut (edge layers / depth): %s\n", strings.Join(cuts, "  "))
 	}
 
 	if *faults != "" {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sieve"
+	"sieve/internal/frame"
+	"sieve/internal/nn"
+	"sieve/internal/synth"
+)
+
+// inferSuite is the split-inference measured suite: the all-edge batched
+// forward is timed on this host at batch 1/4/16, then the edge/cloud
+// split is projected from those measurements at several WAN bandwidths.
+//
+// The all-edge rows are real wall-clock points. The split rows are
+// modelled, honestly labelled as such: a single box cannot time a real
+// two-tier deployment, so each split row takes the measured edge rate,
+// gives the cloud the paper's 3x tier advantage, picks the
+// latency-minimising cut for that bandwidth (nn.PartitionStats — the
+// same chooser `sieve cluster -split auto` runs), and reports the
+// pipelined steady-state throughput 1/max(edge, transfer, cloud) per
+// frame. That is the edge-FLOPS-constrained regime the split exists
+// for: when the uplink can carry the activation, shipping layers to the
+// 3x tier beats the saturated edge.
+func inferSuite(ctx context.Context) ([]sieve.BenchResult, error) {
+	det := sieve.NewDetector([]string{"car", "bus", "truck"}, 96)
+	net := det.Network()
+	stats := net.Stats()
+	flopsPerFrame := net.TotalFLOPs()
+
+	v, err := synth.Preset(synth.JacksonSquare, synth.PresetOpts{Seconds: 4, FPS: 5, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]*frame.YUV, 16)
+	for i := range pool {
+		pool[i] = v.Frame(i % v.NumFrames())
+	}
+
+	var results []sieve.BenchResult
+	ic := nn.NewInference(det)
+	var edgeNsPerFrame float64
+	for _, batch := range []int{1, 4, 16} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ns, n := timeBatchedForward(ic, pool[:batch])
+		r := sieve.BenchResult{
+			Name:         fmt.Sprintf("edge_batch%d", batch),
+			N:            n,
+			NsPerOp:      ns,
+			NsPerFrame:   ns,
+			FramesPerSec: 1e9 / ns,
+		}
+		results = append(results, r)
+		edgeNsPerFrame = ns // batch 16: the amortised rate the split model uses
+	}
+
+	// Edge rate as measured on this host; cloud the paper's 3x tier.
+	edgeFLOPS := float64(flopsPerFrame) / (edgeNsPerFrame * 1e-9)
+	cloudFLOPS := 3 * edgeFLOPS
+	for _, mbps := range []float64{10, 30, 100} {
+		env := nn.Env{
+			EdgeFLOPS:    edgeFLOPS,
+			CloudFLOPS:   cloudFLOPS,
+			BandwidthBps: mbps * 1e6,
+			InputBytes:   net.Input.Bytes(),
+			ReturnBytes:  64,
+		}
+		p := nn.PartitionStats(stats, env)
+		// Pipelined steady state: each tier and the link work on different
+		// frames concurrently, so throughput is set by the slowest stage.
+		bottleneck := p.EdgeTime
+		if p.TransferTime > bottleneck {
+			bottleneck = p.TransferTime
+		}
+		if p.CloudTime > bottleneck {
+			bottleneck = p.CloudTime
+		}
+		if bottleneck <= 0 {
+			bottleneck = time.Nanosecond
+		}
+		ns := float64(bottleneck.Nanoseconds())
+		results = append(results, sieve.BenchResult{
+			Name:         fmt.Sprintf("split_%.0fmbps_cut%d", mbps, p.SplitAfter+1),
+			N:            len(stats),
+			NsPerOp:      ns,
+			NsPerFrame:   ns,
+			FramesPerSec: 1e9 / ns,
+		})
+	}
+	return results, nil
+}
+
+// timeBatchedForward runs the batched detection path over the given frames
+// until enough wall time has accumulated for a stable reading, returning
+// ns/frame and the frames timed. Warmup flushes the lazy scratch growth so
+// the timed region is the steady state.
+func timeBatchedForward(ic *nn.Inference, frames []*frame.YUV) (nsPerFrame float64, n int) {
+	var dst [][]nn.Detection
+	for i := 0; i < 2; i++ {
+		dst = ic.DetectBatch(frames, dst)
+	}
+	const minWall = 200 * time.Millisecond
+	start := time.Now()
+	for time.Since(start) < minWall {
+		dst = ic.DetectBatch(frames, dst)
+		n += len(frames)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), n
+}

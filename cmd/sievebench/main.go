@@ -45,7 +45,7 @@ func main() {
 		fps      = flag.Int("fps", 0, "synthetic feed fps (default 10)")
 		parallel = flag.Int("parallel", 0, "worker pool size (default GOMAXPROCS; 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-		suite    = flag.String("suite", "", "run a measured suite (smoke|session|cluster) instead of -exp")
+		suite    = flag.String("suite", "", "run a measured suite (smoke|session|cluster|infer) instead of -exp")
 		jsonOut  = flag.String("json", "", "with -suite: write the machine-readable BENCH_<suite>.json here")
 		check    = flag.String("check", "", "validate an existing BENCH_<suite>.json against the schema and exit")
 	)
@@ -74,6 +74,10 @@ measured suites (-suite, optionally -json BENCH_<suite>.json, see make obs-smoke
   smoke     CI-sized end-to-end points: session encode + 2-site cluster run
   session   30s single-feed streaming encode
   cluster   6 feeds over 3 edge sites with cloud merge
+  infer     all-edge batched forward measured at batch 1/4/16, plus the
+            edge/cloud split projected at 10/30/100 Mbps from the measured
+            edge rate (cloud = 3x tier, pipelined throughput at the
+            latency-minimising cut — see make bench-split)
 `)
 		return
 	}

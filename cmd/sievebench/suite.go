@@ -41,17 +41,27 @@ var suites = map[string][]workload{
 // runSuite executes one measured suite, prints the human table and
 // optionally writes the machine-readable BENCH_<suite>.json.
 func runSuite(ctx context.Context, name, jsonOut string) {
-	ws, ok := suites[name]
-	if !ok {
-		log.Fatalf("unknown suite %q (want smoke, session or cluster)", name)
-	}
 	var results []sieve.BenchResult
-	for _, w := range ws {
-		res, err := measure(ctx, w)
+	if name == "infer" {
+		// The infer suite mixes measured all-edge points with modelled
+		// split projections; it builds its own rows (see infer_suite.go).
+		rs, err := inferSuite(ctx)
 		if err != nil {
-			fatalf("suite %s: %s: %v", name, w.name, err)
+			fatalf("suite infer: %v", err)
 		}
-		results = append(results, res)
+		results = rs
+	} else {
+		ws, ok := suites[name]
+		if !ok {
+			log.Fatalf("unknown suite %q (want smoke, session, cluster or infer)", name)
+		}
+		for _, w := range ws {
+			res, err := measure(ctx, w)
+			if err != nil {
+				fatalf("suite %s: %s: %v", name, w.name, err)
+			}
+			results = append(results, res)
+		}
 	}
 	report := &sieve.BenchReport{
 		Suite:     name,

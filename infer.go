@@ -41,3 +41,13 @@ func (ip *InferencePlane) Detector() *Detector { return ip.p.Detector() }
 
 // Stats returns a snapshot of the plane's batching counters.
 func (ip *InferencePlane) Stats() InferenceStats { return ip.p.Stats() }
+
+// SplitStats are a split plane's partitioned-execution counters: batches
+// actually split across the uplink, edge fallbacks after ship failures,
+// activation bytes shipped, modelled per-tier compute time, and the most
+// recent cut (Cut == NumLayers reads as all-edge).
+type SplitStats = infer.SplitStats
+
+// SplitStats returns a snapshot of the plane's split counters; zero-valued
+// (NumLayers == 0) for planes not built by WithSplitInference.
+func (ip *InferencePlane) SplitStats() SplitStats { return ip.p.SplitStats() }

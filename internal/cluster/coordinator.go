@@ -156,6 +156,22 @@ func (c *Coordinator) ShipStats(site string) error {
 	return nil
 }
 
+// ShipActivation transfers one split-inference activation record of n
+// bytes over the site's uplink. Unlike the detection stream it is NOT
+// fire-and-forget: a partitioned uplink fails the ship
+// (simnet.ErrLinkDown) so the caller can recompute the batch on the edge
+// — faults cost time, never results.
+func (c *Coordinator) ShipActivation(site string, n int64) error {
+	l, err := c.uplink(site)
+	if err != nil {
+		return err
+	}
+	if _, err := l.TrySend(n); err != nil {
+		return fmt.Errorf("cluster: activation ship %s: %w", site, err)
+	}
+	return nil
+}
+
 // SyncCursor returns the coordinator's replication cursor for a site: the
 // version its next delta must start from.
 func (c *Coordinator) SyncCursor(site string) int64 {

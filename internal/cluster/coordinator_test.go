@@ -359,3 +359,37 @@ func TestCoordinatorMergeConflict(t *testing.T) {
 		t.Fatalf("error does not name the conflicting site: %v", err)
 	}
 }
+
+func TestCoordinatorShipActivation(t *testing.T) {
+	topo := testTopo(t, "site0")
+	c := NewCoordinator(topo)
+
+	if err := c.ShipActivation("site0", 4096); err != nil {
+		t.Fatal(err)
+	}
+	bytes, transfers, busy, err := c.UplinkStats("site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 4096 || transfers != 1 {
+		t.Fatalf("uplink = %d bytes / %d transfers, want 4096 / 1", bytes, transfers)
+	}
+	if busy <= 0 {
+		t.Fatal("activation transfer time not accounted")
+	}
+	if err := c.ShipActivation("ghost", 1); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+
+	// Unlike the detection stream, a dead uplink propagates the failure so
+	// the split plane can recompute the batch on the edge.
+	l, _ := topo.Uplink("site0")
+	l.Fail()
+	if err := c.ShipActivation("site0", 4096); !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("ShipActivation over dead link = %v, want ErrLinkDown", err)
+	}
+	l.Heal()
+	if err := c.ShipActivation("site0", 4096); err != nil {
+		t.Fatal(err)
+	}
+}

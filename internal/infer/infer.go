@@ -93,6 +93,10 @@ type Plane struct {
 	frames64     *telemetry.Counter
 	maxBatch     *telemetry.Gauge
 
+	// split is the edge/cloud partitioned-execution state (nil for a plain
+	// all-edge plane). See NewSplit.
+	split *splitState
+
 	// Leader-owned scratch, guarded by flushing (only one leader at a time).
 	takes  []*request
 	frames []*frame.YUV
@@ -134,12 +138,23 @@ func (p *Plane) Instrument(reg *telemetry.Registry, lbls ...telemetry.Label) {
 	reg.Describe("sieve_infer_batches_total", "detector forward passes run by the shared inference plane")
 	reg.Describe("sieve_infer_frames_total", "frames inferred across all batches")
 	reg.Describe("sieve_infer_max_batch", "largest batch flushed so far")
+	if p.split != nil {
+		reg.Describe("sieve_infer_split_batches_total", "batches whose forward split across the uplink (edge layers, activation ship, cloud layers)")
+		reg.Describe("sieve_infer_split_fallbacks_total", "split batches recomputed on the edge after the uplink refused their activation")
+		reg.Describe("sieve_infer_split_activation_bytes_total", "activation record bytes shipped edge-to-cloud")
+		reg.Describe("sieve_infer_split_edge_ns_total", "modelled edge-tier compute time of split batches (FLOPs at the configured rate)")
+		reg.Describe("sieve_infer_split_cloud_ns_total", "modelled cloud-tier compute time of split batches (FLOPs at the configured rate)")
+		reg.Describe("sieve_infer_split_cut", "current partition point: layers executed on the edge")
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.instrumented {
 		return
 	}
 	p.instrumented = true
+	if p.split != nil {
+		p.instrumentSplitLocked(reg, lbls...)
+	}
 	b := reg.Counter("sieve_infer_batches_total", lbls...)
 	b.Add(p.batches.Value())
 	p.batches = b
@@ -304,7 +319,16 @@ func (p *Plane) flushLocked() {
 		}
 		p.flushing = true
 		p.mu.Unlock()
-		sets := p.inf.FrameLabelsBatch(p.frames, p.sets)
+		var sets []labels.Set
+		var splitInfo nn.SplitInfo
+		if p.split != nil {
+			// The leader decides this batch's cut (the hook reads observed
+			// link state) and runs the partitioned forward; a refused
+			// activation falls back to all-edge inside the split call.
+			sets, splitInfo = p.inf.FrameLabelsBatchSplit(p.frames, p.sets, p.split.nextCut(), p.split.ship)
+		} else {
+			sets = p.inf.FrameLabelsBatch(p.frames, p.sets)
+		}
 		p.mu.Lock()
 		p.sets = sets
 		for i, r := range p.takes {
@@ -315,6 +339,9 @@ func (p *Plane) flushLocked() {
 		p.batches.Inc()
 		p.frames64.Add(int64(n))
 		p.maxBatch.Max(int64(n))
+		if p.split != nil {
+			p.split.record(splitInfo, n)
+		}
 		p.flushing = false
 	}
 }

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Activation wire record ("SVAR"): the serialized form of one intermediate
+// activation Batch, shipped edge→cloud when a forward pass is split at a
+// partition cut. The byte layout is normative — see PROTOCOL.md §SVAR,
+// spec-linted by actwire_spec_test.go — and bit-exact: float32 values
+// travel as their IEEE-754 bit patterns, so an encode/decode round trip
+// reproduces the tensor element for element and the cloud half of a split
+// forward computes on exactly the values the edge half produced.
+const (
+	// ActivationMagic opens every record ("SVAR").
+	ActivationMagic = "SVAR"
+	// ActivationVersion is the current layout version.
+	ActivationVersion = 1
+	// ActivationHeaderBytes is the fixed header size: magic (4), version
+	// (1), flags (1), reserved (2), then N, C, H, W as big-endian uint32.
+	ActivationHeaderBytes = 24
+)
+
+// ActivationWireBytes returns the exact record size for an n×c×h×w batch:
+// the fixed header plus 4 bytes per float32 element.
+func ActivationWireBytes(n, c, h, w int) int64 {
+	return ActivationHeaderBytes + 4*int64(n)*int64(c)*int64(h)*int64(w)
+}
+
+// AppendActivationRecord serializes b into an activation wire record
+// appended to dst (pass dst[:0] of a reused buffer for the zero-alloc
+// steady state). Elements are written item-major in CHW order, each as the
+// big-endian IEEE-754 bit pattern of the float32.
+func AppendActivationRecord(dst []byte, b *Batch) []byte {
+	var hdr [ActivationHeaderBytes]byte
+	copy(hdr[:4], ActivationMagic)
+	hdr[4] = ActivationVersion
+	// hdr[5] flags and hdr[6:8] reserved stay zero in version 1.
+	binary.BigEndian.PutUint32(hdr[8:], uint32(b.N))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(b.C))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(b.H))
+	binary.BigEndian.PutUint32(hdr[20:], uint32(b.W))
+	dst = append(dst, hdr[:]...)
+	var el [4]byte
+	for _, v := range b.Data {
+		binary.BigEndian.PutUint32(el[:], math.Float32bits(v))
+		dst = append(dst, el[:]...)
+	}
+	return dst
+}
+
+// DecodeActivationRecord parses an activation wire record into `into`,
+// reshaping it to the header's dimensions (reusing its storage when the
+// capacity suffices). The payload length must match the header exactly —
+// a record is a complete tensor, never a prefix.
+func DecodeActivationRecord(data []byte, into *Batch) error {
+	if len(data) < ActivationHeaderBytes {
+		return fmt.Errorf("nn: activation record: %d bytes, want at least the %d-byte header",
+			len(data), ActivationHeaderBytes)
+	}
+	if string(data[:4]) != ActivationMagic {
+		return fmt.Errorf("nn: activation record: bad magic %q", data[:4])
+	}
+	if v := data[4]; v != ActivationVersion {
+		return fmt.Errorf("nn: activation record: version %d, want %d", v, ActivationVersion)
+	}
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	c := int(binary.BigEndian.Uint32(data[12:]))
+	h := int(binary.BigEndian.Uint32(data[16:]))
+	w := int(binary.BigEndian.Uint32(data[20:]))
+	if n < 0 || c < 1 || h < 1 || w < 1 {
+		return fmt.Errorf("nn: activation record: bad shape %dx%dx%dx%d", n, c, h, w)
+	}
+	want := ActivationWireBytes(n, c, h, w)
+	if int64(len(data)) != want {
+		return fmt.Errorf("nn: activation record: %d bytes for shape %dx%dx%dx%d, want %d",
+			len(data), n, c, h, w, want)
+	}
+	into.Reshape(n, c, h, w)
+	payload := data[ActivationHeaderBytes:]
+	for i := range into.Data {
+		into.Data[i] = math.Float32frombits(binary.BigEndian.Uint32(payload[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package nn
+
+// actwire_spec_test.go is the docs lint for the SVAR activation record:
+// it parses the normative byte-layout table in PROTOCOL.md §10 and fails
+// when it disagrees with the codec constants in actwire.go, in either
+// direction. The record layout changes by changing both together.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type svarField struct {
+	offset, bytes int
+	name, value   string
+}
+
+// svarTable parses the "Activation record layout" table from PROTOCOL.md.
+func svarTable(t *testing.T) []svarField {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "PROTOCOL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatalf("PROTOCOL.md not found at repository root: %v", err)
+	}
+	defer f.Close()
+
+	row := regexp.MustCompile(`^\|\s*(\d+)\s*\|\s*(\d+)\s*\|\s*([a-z]+)\s*\|\s*(.*?)\s*\|$`)
+	var fields []svarField
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "### Activation record layout") {
+			inSection = true
+			continue
+		}
+		if inSection && strings.HasPrefix(line, "#") {
+			break // next heading ends the table's section
+		}
+		if !inSection {
+			continue
+		}
+		if m := row.FindStringSubmatch(line); m != nil {
+			off, _ := strconv.Atoi(m[1])
+			n, _ := strconv.Atoi(m[2])
+			fields = append(fields, svarField{offset: off, bytes: n, name: m[3], value: m[4]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) == 0 {
+		t.Fatal("PROTOCOL.md has no 'Activation record layout' table rows")
+	}
+	return fields
+}
+
+// TestSpecActivationHeaderLayout pins the documented field offsets: they
+// must be contiguous from 0 and sum to exactly ActivationHeaderBytes.
+func TestSpecActivationHeaderLayout(t *testing.T) {
+	fields := svarTable(t)
+	next := 0
+	for _, f := range fields {
+		if f.offset != next {
+			t.Fatalf("field %s documented at offset %d, want contiguous offset %d", f.name, f.offset, next)
+		}
+		next += f.bytes
+	}
+	if next != ActivationHeaderBytes {
+		t.Fatalf("documented header totals %d bytes, codec uses ActivationHeaderBytes = %d", next, ActivationHeaderBytes)
+	}
+	want := []string{"magic", "version", "flags", "reserved", "n", "c", "h", "w"}
+	if len(fields) != len(want) {
+		t.Fatalf("documented %d fields, want %d: %v", len(fields), len(want), want)
+	}
+	for i, f := range fields {
+		if f.name != want[i] {
+			t.Fatalf("field %d documented as %q, want %q", i, f.name, want[i])
+		}
+	}
+}
+
+// TestSpecActivationMagicAndVersion pins the documented magic string and
+// version byte to the codec constants.
+func TestSpecActivationMagicAndVersion(t *testing.T) {
+	for _, f := range svarTable(t) {
+		switch f.name {
+		case "magic":
+			if f.bytes != len(ActivationMagic) {
+				t.Fatalf("magic documented as %d bytes, ActivationMagic is %d", f.bytes, len(ActivationMagic))
+			}
+			if !strings.Contains(f.value, "`"+ActivationMagic+"`") {
+				t.Fatalf("magic documented as %q, codec writes %q", f.value, ActivationMagic)
+			}
+		case "version":
+			v, err := strconv.Atoi(strings.Fields(f.value)[0])
+			if err != nil || v != ActivationVersion {
+				t.Fatalf("version documented as %q, codec writes %d", f.value, ActivationVersion)
+			}
+		}
+	}
+}
+
+// TestSpecActivationRecordLength pins the documented total-length formula
+// `24 + 4*n*c*h*w` to ActivationWireBytes.
+func TestSpecActivationRecordLength(t *testing.T) {
+	for _, tc := range []struct{ n, c, h, w int }{{1, 1, 1, 1}, {4, 8, 6, 6}, {0, 3, 2, 2}} {
+		want := int64(24 + 4*tc.n*tc.c*tc.h*tc.w)
+		if got := ActivationWireBytes(tc.n, tc.c, tc.h, tc.w); got != want {
+			t.Fatalf("ActivationWireBytes(%d,%d,%d,%d) = %d, documented formula gives %d",
+				tc.n, tc.c, tc.h, tc.w, got, want)
+		}
+	}
+}

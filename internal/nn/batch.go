@@ -66,10 +66,30 @@ func (n *Network) ForwardBatch(in *Batch, s *BatchScratch) *Batch {
 	if in.C != n.Input.C {
 		panic(fmt.Sprintf("nn: ForwardBatch input has %d channels, want %d", in.C, n.Input.C))
 	}
+	return n.ForwardBatchRange(in, s, 0, len(n.Layers))
+}
+
+// ForwardBatchRange runs layers [from, to) over every item of in — the
+// batched unit of work one side of a partition cut executes. in is the
+// input to layer `from` (the raw network input when from == 0, an
+// intermediate activation batch otherwise, e.g. one decoded from an
+// activation wire record) and must not alias s. The returned batch aliases
+// one of s's buffers — or in itself when the range is empty — and chaining
+// ForwardBatchRange(·, 0, k) through a bit-exact transport into
+// ForwardBatchRange(·, k, N) is element-identical to one full ForwardBatch:
+// the same layer kernels run in the same order on the same values.
+func (n *Network) ForwardBatchRange(in *Batch, s *BatchScratch, from, to int) *Batch {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(n.Layers) {
+		to = len(n.Layers)
+	}
 	cur := in
 	shape := Shape{C: in.C, H: in.H, W: in.W}
 	next := &s.a
-	for _, l := range n.Layers {
+	for i := from; i < to; i++ {
+		l := n.Layers[i]
 		os := l.OutShape(shape)
 		next.Reshape(cur.N, os.C, os.H, os.W)
 		l.ForwardBatch(cur, next)

@@ -20,6 +20,12 @@ type Inference struct {
 	count   map[string]int
 	best    map[string]float32
 	names   []string
+	// Split-forward state: the encoded activation record and the
+	// cloud-side input it is decoded into. cloudIn is separate storage
+	// (never the scratch) so the cloud half's ForwardBatchRange input does
+	// not alias its ping-pong buffers.
+	actBuf  []byte
+	cloudIn Batch
 }
 
 // NewInference builds an inference context for d.
@@ -60,6 +66,97 @@ func (ic *Inference) DetectBatch(frames []*frame.YUV, dst [][]Detection) [][]Det
 			ic.d.classes, ic.d.CellThresh, dst[i][:0])
 	}
 	return dst
+}
+
+// SplitInfo reports how a split detect call actually executed.
+type SplitInfo struct {
+	// Cut is the effective partition point: the edge ran layers [0, Cut).
+	// Cut == len(network layers) means the whole pass ran on the edge
+	// (requested, or forced by a ship failure).
+	Cut int
+	// ActivationBytes is the size of the activation record shipped to the
+	// cloud (0 when the pass stayed on the edge).
+	ActivationBytes int64
+	// Fallback reports that shipping the activation failed (uplink down)
+	// and the batch was recomputed entirely on the edge.
+	Fallback bool
+}
+
+// DetectBatchSplit is DetectBatch with the forward pass split at cut: the
+// edge runs layers [0, cut), the resulting activation batch is serialized
+// into an activation wire record and handed to ship, and on success the
+// record is decoded back and layers [cut, N) run as the cloud half. The
+// detections are element-identical to DetectBatch — the same kernels run
+// in the same order and the record transport is bit-exact. cut >= N (or a
+// nil ship) degrades to the plain all-edge DetectBatch; cut <= 0 ships the
+// raw input batch. If ship returns an error (a partitioned uplink), the
+// batch is recomputed from the untouched input entirely on the edge, so a
+// link fault costs time, never results.
+//
+//sieve:noalloc steady state pinned to 0 allocs/op by split_test.go
+func (ic *Inference) DetectBatchSplit(frames []*frame.YUV, dst [][]Detection, cut int, ship func([]byte) error) ([][]Detection, SplitInfo) {
+	nLayers := len(ic.d.net.Layers)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut >= nLayers || ship == nil {
+		return ic.DetectBatch(frames, dst), SplitInfo{Cut: nLayers}
+	}
+	for len(dst) < len(frames) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(frames)]
+	if len(frames) == 0 {
+		return dst, SplitInfo{Cut: nLayers}
+	}
+	size := ic.d.InputSize
+	ic.in.Reshape(len(frames), 3, size, size)
+	for i, f := range frames {
+		fromYUVInto(ic.in.Item(i), f, size)
+	}
+	act := ic.d.net.ForwardBatchRange(&ic.in, &ic.scratch, 0, cut)
+	ic.actBuf = AppendActivationRecord(ic.actBuf[:0], act)
+	info := SplitInfo{Cut: cut}
+	var probs *Batch
+	if err := ship(ic.actBuf); err != nil {
+		// The uplink refused the activation. ic.in is untouched by the
+		// range forward, so the whole batch reruns on the edge.
+		info.Cut, info.Fallback = nLayers, true
+		probs = ic.d.net.ForwardBatch(&ic.in, &ic.scratch)
+	} else {
+		info.ActivationBytes = int64(len(ic.actBuf))
+		if derr := DecodeActivationRecord(ic.actBuf, &ic.cloudIn); derr != nil {
+			// Unreachable for a record encoded above; recompute defensively
+			// rather than return wrong results.
+			info.Cut, info.Fallback, info.ActivationBytes = nLayers, true, 0
+			probs = ic.d.net.ForwardBatch(&ic.in, &ic.scratch)
+		} else {
+			probs = ic.d.net.ForwardBatchRange(&ic.cloudIn, &ic.scratch, cut, nLayers)
+		}
+	}
+	for i := range frames {
+		dst[i] = appendDetections(probs.Item(i), probs.C, probs.H, probs.W,
+			ic.d.classes, ic.d.CellThresh, dst[i][:0])
+	}
+	return dst, info
+}
+
+// FrameLabelsBatchSplit is FrameLabelsBatch over the split forward path:
+// per frame the labels are identical to FrameLabelsBatch (and so to
+// d.FrameLabels) at every cut.
+//
+//sieve:noalloc wraps DetectBatchSplit on the shared-plane split path
+func (ic *Inference) FrameLabelsBatchSplit(frames []*frame.YUV, dst []labels.Set, cut int, ship func([]byte) error) ([]labels.Set, SplitInfo) {
+	var info SplitInfo
+	ic.dets, info = ic.DetectBatchSplit(frames, ic.dets, cut, ship)
+	for len(dst) < len(frames) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(frames)]
+	for i := range frames {
+		dst[i], ic.names = frameLabelSet(ic.dets[i], ic.count, ic.best, ic.names)
+	}
+	return dst, info
 }
 
 // FrameLabelsBatch is DetectBatch reduced to per-frame label sets, each

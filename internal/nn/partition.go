@@ -14,7 +14,14 @@ type Placement struct {
 	TransferBytes int64
 	// TransferTime is the modelled link time per frame.
 	TransferTime time.Duration
-	// Latency is the modelled end-to-end time per frame.
+	// ReturnBytes is the cloud→edge detections record per frame — paid
+	// whenever at least one layer runs in the cloud, zero for the all-edge
+	// cut (the edge already holds its own detections).
+	ReturnBytes int64
+	// ReturnTime is the modelled link time of the return transfer.
+	ReturnTime time.Duration
+	// Latency is the modelled end-to-end time per frame, including the
+	// detections' return trip.
 	Latency time.Duration
 }
 
@@ -29,17 +36,31 @@ type Env struct {
 	// InputBytes is the wire size of the NN input if the cut is before
 	// layer 0 (the cloud-only case ships the input frame).
 	InputBytes int64
+	// ReturnBytes is the wire size of the detections record the cloud
+	// sends back per frame. It is charged to every cut that runs at least
+	// one layer in the cloud (0 = return transfer not modelled).
+	ReturnBytes int64
 }
 
 // Partition evaluates every cut point and returns the latency-minimising
 // placement. Cut k means layers [0..k] run on the edge, layers (k..n) in the
 // cloud, with the k-th layer's output shipped over the link. k = -1 ships
-// the raw input to the cloud.
+// the raw input to the cloud. Equal-latency ties break deterministically
+// toward the smaller TransferBytes (then the earlier cut), so the choice
+// never depends on evaluation order.
 func Partition(n *Network, env Env) Placement {
-	stats := n.Stats()
+	return PartitionStats(n.Stats(), env)
+}
+
+// PartitionStats is Partition over a precomputed layer profile — the
+// allocation-free variant for callers that re-evaluate the cut as observed
+// bandwidth moves (n.Stats() allocates; the profile does not change).
+func PartitionStats(stats []LayerStats, env Env) Placement {
 	best := evalCut(stats, -1, env)
 	for k := range stats {
-		if p := evalCut(stats, k, env); p.Latency < best.Latency {
+		p := evalCut(stats, k, env)
+		if p.Latency < best.Latency ||
+			(p.Latency == best.Latency && p.TransferBytes < best.TransferBytes) {
 			best = p
 		}
 	}
@@ -49,6 +70,11 @@ func Partition(n *Network, env Env) Placement {
 // EvalCut exposes the latency model for a specific cut (for tables/benches).
 func EvalCut(n *Network, cut int, env Env) Placement {
 	return evalCut(n.Stats(), cut, env)
+}
+
+// EvalCutStats is EvalCut over a precomputed layer profile.
+func EvalCutStats(stats []LayerStats, cut int, env Env) Placement {
+	return evalCut(stats, cut, env)
 }
 
 func evalCut(stats []LayerStats, cut int, env Env) Placement {
@@ -70,11 +96,21 @@ func evalCut(stats []LayerStats, cut int, env Env) Placement {
 		CloudTime:     flopsTime(cloudFLOPs, env.CloudFLOPS),
 		TransferBytes: transfer,
 	}
-	if env.BandwidthBps > 0 {
-		p.TransferTime = time.Duration(float64(transfer*8) / env.BandwidthBps * float64(time.Second))
+	// The return transfer exists only when the cloud computes something:
+	// the all-edge cut keeps its detections local.
+	if cut < len(stats)-1 {
+		p.ReturnBytes = env.ReturnBytes
 	}
-	p.Latency = p.EdgeTime + p.TransferTime + p.CloudTime
+	if env.BandwidthBps > 0 {
+		p.TransferTime = linkTime(transfer, env.BandwidthBps)
+		p.ReturnTime = linkTime(p.ReturnBytes, env.BandwidthBps)
+	}
+	p.Latency = p.EdgeTime + p.TransferTime + p.CloudTime + p.ReturnTime
 	return p
+}
+
+func linkTime(bytes int64, bps float64) time.Duration {
+	return time.Duration(float64(bytes*8) / bps * float64(time.Second))
 }
 
 func flopsTime(flops int64, rate float64) time.Duration {
